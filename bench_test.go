@@ -1,0 +1,376 @@
+// Package manasim's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (Section 6) and the ablations called
+// out in DESIGN.md. Each Benchmark prints the same rows/series the
+// paper reports via -v or the bench output metrics.
+//
+// Benchmarks use reduced trial counts and step divisors for turnaround;
+// `manasim experiment -name all -trials 10` reproduces the full runs.
+package manasim
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"manasim/internal/app"
+	"manasim/internal/apps"
+	mana "manasim/internal/core"
+	"manasim/internal/harness"
+	"manasim/internal/impls"
+	"manasim/internal/mpi"
+	"manasim/internal/simtime"
+	"manasim/internal/vid"
+	"manasim/internal/vidlegacy"
+)
+
+// benchOpts keeps benchmark iterations quick.
+var benchOpts = harness.Options{Trials: 1, Fast: 2}
+
+// BenchmarkTable1Inputs regenerates Table 1 and Table 2 (application
+// inputs per site).
+func BenchmarkTable1Inputs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table1(apps.SiteDiscovery)
+		if len(rows) != 5 {
+			b.Fatal("table 1 incomplete")
+		}
+		rows = harness.Table1(apps.SitePerlmutter)
+		if len(rows) != 3 {
+			b.Fatal("table 2 incomplete")
+		}
+	}
+	harness.WriteTable1(io.Discard, apps.SiteDiscovery, harness.Table1(apps.SiteDiscovery))
+}
+
+// BenchmarkFig2Runtimes regenerates Figure 2: five applications, five
+// configurations, MPICH versus Open MPI on the no-FSGSBASE site.
+func BenchmarkFig2Runtimes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Figure2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportOverhead(b, res, "LAMMPS", "MANA+virtId/mpich", "native/mpich", "lammps-mpich-overhead-%")
+			reportOverhead(b, res, "SW4", "MANA+virtId/OMPI", "native/OMPI", "sw4-ompi-overhead-%")
+		}
+	}
+}
+
+// BenchmarkFig3ExaMPI regenerates Figure 3: the ExaMPI subset (LULESH,
+// CoMD), including the MANA-faster-than-native-ExaMPI effect.
+func BenchmarkFig3ExaMPI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Figure3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportOverhead(b, res, "CoMD", "MANA+virtId/exampi", "native/exampi", "comd-exampi-overhead-%")
+		}
+	}
+}
+
+// BenchmarkFig4Perlmutter regenerates Figure 4: Cray MPI with userspace
+// FSGSBASE (overheads ~5% or less).
+func BenchmarkFig4Perlmutter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Figure4(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			reportOverhead(b, res, "LAMMPS", "MANA+virtId/craympi", "native/craympi", "lammps-cray-overhead-%")
+		}
+	}
+}
+
+// reportOverhead emits one figure cell's overhead as a bench metric.
+func reportOverhead(b *testing.B, res *harness.FigureResult, app, series, base, metric string) {
+	m, ok := res.Bars[app][series]
+	if !ok {
+		b.Fatalf("missing %s/%s", app, series)
+	}
+	n, ok := res.Bars[app][base]
+	if !ok {
+		b.Fatalf("missing %s/%s", app, base)
+	}
+	b.ReportMetric(m.OverheadPct(n), metric)
+}
+
+// BenchmarkContextSwitchRates regenerates the Section 6.3 analysis.
+func BenchmarkContextSwitchRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.ContextSwitches(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.App == "LAMMPS" {
+					b.ReportMetric(r.CSPerSec/1e6, "lammps-MCS/s")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Checkpoint regenerates Table 3: checkpoint size, time,
+// and MB/s/rank on the NFSv3 model.
+func BenchmarkTable3Checkpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table3(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.App == "HPCG" {
+					b.ReportMetric(r.CkptTimeS, "hpcg-ckpt-s")
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md Section 4).
+
+// BenchmarkVidDesigns compares the two virtual-id designs on the hot
+// translation paths: virtual->real (every wrapper call) and
+// real->virtual (the rare direction; O(n) in the legacy design).
+func BenchmarkVidDesigns(b *testing.B) {
+	const objects = 512
+	build := func(s vid.Store) []mpi.Handle {
+		handles := make([]mpi.Handle, objects)
+		for i := range handles {
+			h, err := s.Add(mpi.KindComm, mpi.Handle(0x1000+i), vid.Descriptor{}, vid.StrategyReplay)
+			if err != nil {
+				b.Fatal(err)
+			}
+			handles[i] = h
+		}
+		return handles
+	}
+
+	b.Run("virtid/virt-to-real", func(b *testing.B) {
+		s := vid.NewStore(32, false)
+		handles := build(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Phys(mpi.KindComm, handles[i%objects]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("legacy/virt-to-real", func(b *testing.B) {
+		s := vidlegacy.New()
+		handles := build(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Phys(mpi.KindComm, handles[i%objects]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("virtid/real-to-virt", func(b *testing.B) {
+		s := vid.NewStore(32, false)
+		build(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.Virt(mpi.KindComm, mpi.Handle(0x1000+i%objects)); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("legacy/real-to-virt", func(b *testing.B) {
+		s := vidlegacy.New()
+		build(s)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := s.Virt(mpi.KindComm, mpi.Handle(0x1000+i%objects)); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
+// churnApp creates and frees communicators in a loop: the workload of
+// the paper's Section 9 ggid-policy discussion.
+type churnApp struct {
+	steps int
+	world mpi.Handle
+	n     int64
+}
+
+// newChurnFactory builds churn instances of the given step count.
+func newChurnFactory(steps int) app.Factory {
+	return func() app.Instance { return &churnApp{steps: steps} }
+}
+
+func (c *churnApp) Setup(env *app.Env) error {
+	w, err := env.P.LookupConst(mpi.ConstCommWorld)
+	c.world = w
+	return err
+}
+func (c *churnApp) Steps() int { return c.steps }
+func (c *churnApp) Step(env *app.Env, step int) error {
+	sub, err := env.P.CommSplit(c.world, step%2, env.Rank)
+	if err != nil {
+		return err
+	}
+	c.n++
+	return env.P.CommFree(sub)
+}
+func (c *churnApp) Finalize(env *app.Env) error { return nil }
+func (c *churnApp) Checksum() uint64            { return uint64(c.n) }
+func (c *churnApp) Snapshot() ([]byte, error)   { return []byte{byte(c.n)}, nil }
+func (c *churnApp) Restore(b []byte) error      { c.n = int64(b[0]); return nil }
+func (c *churnApp) FootprintBytes() int64       { return 0 }
+
+// BenchmarkGgidPolicies measures communicator-churn cost under the
+// eager, lazy, and hybrid ggid policies (paper Section 9: codes that
+// repeatedly create and free communicators motivate a lazy policy).
+func BenchmarkGgidPolicies(b *testing.B) {
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pol := range []vid.GGIDPolicy{vid.GGIDEager, vid.GGIDLazy, vid.GGIDHybrid} {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := mana.Config{ImplName: "mpich", Factory: factory, GGIDPolicy: pol}
+			var totalVT time.Duration
+			for i := 0; i < b.N; i++ {
+				st, _, err := mana.Run(cfg, 8, newChurnFactory(64), -1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalVT += st.VT
+			}
+			b.ReportMetric(totalVT.Seconds()/float64(b.N)*1e3, "vt-ms/run")
+		})
+	}
+}
+
+// BenchmarkCrossingCost sweeps the split-process crossing cost across
+// the two fs-register mechanisms at LAMMPS-like call rates (the
+// Section 6.3/6.4 FSGSBASE analysis).
+func BenchmarkCrossingCost(b *testing.B) {
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := apps.ByName("lammps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, host := range []simtime.HostProfile{simtime.Discovery(), simtime.Perlmutter()} {
+		b.Run(host.Cross.String(), func(b *testing.B) {
+			in := spec.DefaultInput(apps.SiteDiscovery)
+			in.SimSteps = 50
+			cfg := mana.Config{ImplName: "mpich", Factory: factory, Host: host}
+			var overhead float64
+			for i := 0; i < b.N; i++ {
+				native, err := mana.RunNative(cfg, 8, spec.New(in))
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, _, err := mana.Run(cfg, 8, spec.New(in), -1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				overhead = (st.VT.Seconds() - native.VT.Seconds()) / native.VT.Seconds() * 100
+			}
+			b.ReportMetric(overhead, "overhead-%")
+		})
+	}
+}
+
+// BenchmarkCheckpointRestartCycle measures a full checkpoint + restart
+// round trip for an 8-rank CoMD job.
+func BenchmarkCheckpointRestartCycle(b *testing.B) {
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := apps.ByName("comd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = 8
+	in.SimSteps = 6
+	cfg := mana.Config{ImplName: "mpich", Factory: factory, ExitAtCheckpoint: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, images, err := mana.Run(cfg, 8, spec.New(in), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rcfg := mana.Config{ImplName: "mpich", Factory: factory}
+		if _, err := mana.Restart(rcfg, images, spec.New(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrossImplRestart measures the cross-implementation restart
+// path (checkpoint under MPICH, restart under Open MPI with uniform
+// handles — the Section 9 capability).
+func BenchmarkCrossImplRestart(b *testing.B) {
+	mpichF, err := impls.Get("mpich")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ompiF, err := impls.Get("openmpi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := apps.ByName("comd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = 8
+	in.SimSteps = 6
+	src := mana.Config{ImplName: "mpich", Factory: mpichF, UniformHandles: true, ExitAtCheckpoint: true}
+	_, images, err := mana.Run(src, 8, spec.New(in), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst := mana.Config{ImplName: "openmpi", Factory: ompiF}
+		if _, err := mana.Restart(dst, images, spec.New(in)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDrainProtocol isolates the in-flight message drain: a
+// pipelined LAMMPS job checkpoints with one message in flight per rank.
+func BenchmarkDrainProtocol(b *testing.B) {
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := apps.ByName("lammps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = 8
+	in.SimSteps = 8
+	in.PollsPerStep = 4
+	cfg := mana.Config{ImplName: "mpich", Factory: factory, ExitAtCheckpoint: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, images, err := mana.Run(cfg, 8, spec.New(in), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(images) != 8 {
+			b.Fatal("missing images")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// XFEL preemption: the urgent-computing scenario from the paper's
+// introduction. A long-running simulation occupies the machine as a
+// preemptible job; an X-ray free-electron-laser experiment suddenly
+// needs the nodes. The scheduler asks MANA for a checkpoint *now* — not
+// at the application's convenience — the job is gone within a couple of
+// steps, and resumes later as if nothing happened.
+//
+//	go run ./examples/xfel-preempt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manasim/internal/apps"
+	"manasim/internal/ckptimg"
+	mana "manasim/internal/core"
+	"manasim/internal/impls"
+)
+
+func main() {
+	spec, err := apps.ByName("lulesh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = 8
+	in.Steps = 200
+	in.SimSteps = 200
+	in.PollsPerStep = 16
+	in.StepCompute = 0
+
+	// The preemptible science job starts.
+	cfg := mana.Config{ImplName: "mpich", Factory: factory, ExitAtCheckpoint: true}
+	session, err := mana.StartJob(cfg, in.Ranks, spec.New(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hydro job running as preemptible workload (200 steps)...")
+
+	// The beamline fires: the scheduler demands the nodes. This is the
+	// asynchronous request path — no step number, just "checkpoint as
+	// soon as you can" (rank 0 agrees on a boundary a few steps ahead
+	// and announces it over MANA's internal communicator).
+	fmt.Println("XFEL burst arriving: scheduler requests immediate checkpoint")
+	session.Co.RequestCheckpoint()
+
+	st, err := session.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	images, err := session.Co.Images()
+	if err != nil {
+		log.Fatal(err)
+	}
+	img, err := ckptimg.Decode(images[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job vacated at step %d/%d (stopped=%v); nodes handed to the light source\n",
+		img.Step, in.Steps, st.Stopped)
+
+	// ... hours later, the experiment is over; the job resumes.
+	rst, err := mana.Restart(mana.Config{ImplName: "mpich", Factory: factory}, images, spec.New(in))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job resumed at step %d and completed (vt=%v)\n", img.Step, rst.VT.Round(1e6))
+
+	// Prove nothing was lost: compare with an undisturbed run.
+	ref, _, err := mana.Run(mana.Config{ImplName: "mpich", Factory: factory}, in.Ranks, spec.New(in), -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := range ref.Checksums {
+		if ref.Checksums[r] != rst.Checksums[r] {
+			log.Fatalf("rank %d diverged after preemption!", r)
+		}
+	}
+	fmt.Println("preempted + resumed run is bit-identical to an undisturbed run ✓")
+}

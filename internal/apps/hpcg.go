@@ -1,0 +1,271 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"manasim/internal/app"
+	"manasim/internal/mpi"
+)
+
+// HPCG proxy: the High Performance Conjugate Gradient benchmark
+// (Table 1: 56 ranks, --nx=104 --ny=104 --nz=104 --it=50). The proxy
+// runs a real conjugate-gradient iteration on a 7-point Poisson stencil
+// over the local subgrid: per iteration one SpMV with face halo
+// exchanges, two global dot products (MPI_Allreduce), and the vector
+// updates. Setup builds the halo gather pattern with MPI_Type_indexed
+// and exchanges partition metadata with MPI_Allgather — features ExaMPI
+// does not provide, which is why the paper does not run HPCG on ExaMPI.
+//
+// The Steps count is total CG iterations (50 outer runs of a 50-step
+// solve for the paper's --it=50 input).
+
+func init() {
+	register(Spec{
+		Name:  "hpcg",
+		Paper: "HPCG",
+		Requires: []mpi.Feature{
+			mpi.FeatTypeIndexed, mpi.FeatAllgather, mpi.FeatGatherScatter,
+		},
+		DefaultInput: func(site Site) Input {
+			return Input{
+				Ranks: 56, Steps: 2500, SimSteps: 10,
+				StepCompute:  69600 * time.Microsecond, // 174s/2500 native (Fig. 2)
+				PollsPerStep: 3000, Local: 10, FootprintMB: 934,
+			}
+		},
+		InputLine: func(site Site) string { return "--nx=104 --ny=104 --nz=104 --it=50" },
+		New: func(in Input) app.Factory {
+			return func() app.Instance { return &hpcg{in: in.normalized()} }
+		},
+	})
+}
+
+type hpcgState struct {
+	In Input
+	D  Decomp3D
+	// CG vectors on the local nx^3 grid.
+	X, R, Pv, Ap []float64
+	RtR          float64
+	Iter         int
+	// Partition metadata gathered at setup (one entry per rank).
+	Partition []int64
+	World     mpi.Handle
+	F64       mpi.Handle
+	I64       mpi.Handle
+	HaloType  mpi.Handle // indexed datatype selecting the x-face
+}
+
+type hpcg struct {
+	in Input
+	st hpcgState
+}
+
+func (h *hpcg) n() int { return h.in.Local * h.in.Local * h.in.Local }
+
+// Setup implements app.Instance.
+func (h *hpcg) Setup(env *app.Env) error {
+	p := env.P
+	world, err := p.LookupConst(mpi.ConstCommWorld)
+	if err != nil {
+		return err
+	}
+	f64, err := p.LookupConst(mpi.ConstFloat64)
+	if err != nil {
+		return err
+	}
+	i64, err := p.LookupConst(mpi.ConstInt64)
+	if err != nil {
+		return err
+	}
+	nx := h.in.Local
+	n := h.n()
+
+	// Indexed datatype selecting the +x face (stride nx in the flat
+	// array): the real HPCG gathers scattered boundary entries.
+	blocklens := make([]int, nx*nx)
+	displs := make([]int, nx*nx)
+	for i := range blocklens {
+		blocklens[i] = 1
+		displs[i] = i*nx + nx - 1
+	}
+	halo, err := p.TypeIndexed(blocklens, displs, f64)
+	if err != nil {
+		return err
+	}
+	if err := p.TypeCommit(halo); err != nil {
+		return err
+	}
+
+	st := hpcgState{
+		In: h.in, D: NewDecomp3D(env.Rank, env.Size),
+		X: make([]float64, n), R: make([]float64, n),
+		Pv: make([]float64, n), Ap: make([]float64, n),
+		World: world, F64: f64, I64: i64, HaloType: halo,
+	}
+
+	// Exchange partition metadata: every rank publishes its local size.
+	send := mpi.Int64Bytes([]int64{int64(n)})
+	recv := make([]byte, 8*env.Size)
+	if err := p.Allgather(send, 1, i64, recv, 1, i64, world); err != nil {
+		return fmt.Errorf("hpcg setup allgather: %w", err)
+	}
+	st.Partition = mpi.Int64s(recv)
+
+	// b = 1 => r0 = b, p0 = r0 (x0 = 0), the standard HPCG start.
+	for i := range st.R {
+		st.R[i] = 1
+		st.Pv[i] = 1
+	}
+	st.RtR = float64(n)
+	h.st = st
+	return nil
+}
+
+// Steps implements app.Instance.
+func (h *hpcg) Steps() int { return h.in.SimSteps }
+
+const hpcgTag = 300
+
+// Step implements app.Instance: one CG iteration.
+func (h *hpcg) Step(env *app.Env, step int) error {
+	p := env.P
+	s := &h.st
+	nx := h.in.Local
+	n := h.n()
+	nb := s.D.NeighborsPeriodic()
+
+	// Halo exchange of p's +x face, strided via the indexed type, into
+	// a contiguous ghost plane from the -x neighbor.
+	if err := p.Send(mpi.Float64Bytes(s.Pv), 1, s.HaloType, nb[1], hpcgTag, s.World); err != nil {
+		return fmt.Errorf("hpcg halo send: %w", err)
+	}
+	if err := progressPoll(p, s.World, h.in.polls()); err != nil {
+		return err
+	}
+	ghost := make([]byte, 8*nx*nx)
+	if _, err := p.Recv(ghost, nx*nx, s.F64, nb[0], hpcgTag, s.World); err != nil {
+		return fmt.Errorf("hpcg halo recv: %w", err)
+	}
+	gx := mpi.Float64s(ghost)
+
+	// SpMV: Ap = A*p with the 7-point stencil (ghost face on -x).
+	for i := 0; i < n; i++ {
+		v := 6 * s.Pv[i]
+		if i%nx > 0 {
+			v -= s.Pv[i-1]
+		} else {
+			v -= gx[(i/nx)%(nx*nx)]
+		}
+		if i%nx < nx-1 {
+			v -= s.Pv[i+1]
+		}
+		if i >= nx {
+			v -= s.Pv[i-nx]
+		}
+		if i < n-nx {
+			v -= s.Pv[i+nx]
+		}
+		s.Ap[i] = v
+	}
+	env.Compute(h.in.stepCompute())
+
+	// alpha = rtr / <p, Ap>  (global dot product #1)
+	local := 0.0
+	for i := 0; i < n; i++ {
+		local += s.Pv[i] * s.Ap[i]
+	}
+	sum := mustConst(p, mpi.ConstOpSum)
+	recv := make([]byte, 8)
+	if err := p.Allreduce(mpi.Float64Bytes([]float64{local}), recv, 1, s.F64, sum, s.World); err != nil {
+		return fmt.Errorf("hpcg dot1: %w", err)
+	}
+	pAp := mpi.Float64s(recv)[0]
+	if math.Abs(pAp) < 1e-300 {
+		pAp = 1e-300
+	}
+	alpha := s.RtR / pAp
+
+	// x += alpha p ; r -= alpha Ap ; new rtr (global dot product #2).
+	local = 0
+	for i := 0; i < n; i++ {
+		s.X[i] += alpha * s.Pv[i]
+		s.R[i] -= alpha * s.Ap[i]
+		local += s.R[i] * s.R[i]
+	}
+	if err := p.Allreduce(mpi.Float64Bytes([]float64{local}), recv, 1, s.F64, sum, s.World); err != nil {
+		return fmt.Errorf("hpcg dot2: %w", err)
+	}
+	newRtR := mpi.Float64s(recv)[0]
+	beta := newRtR / math.Max(s.RtR, 1e-300)
+	for i := 0; i < n; i++ {
+		s.Pv[i] = s.R[i] + beta*s.Pv[i]
+	}
+	s.RtR = newRtR
+	s.Iter++
+	return nil
+}
+
+// Finalize implements app.Instance: gather the residual norms at rank 0
+// (the benchmark's report phase).
+func (h *hpcg) Finalize(env *app.Env) error {
+	s := &h.st
+	send := mpi.Float64Bytes([]float64{math.Sqrt(s.RtR)})
+	var recv []byte
+	if s.D.Rank == 0 {
+		recv = make([]byte, 8*env.Size)
+	} else {
+		recv = make([]byte, 8)
+	}
+	if err := env.P.Gather(send, 1, s.F64, recv, 1, s.F64, 0, s.World); err != nil {
+		return err
+	}
+	if s.D.Rank == 0 {
+		norms := mpi.Float64s(recv)
+		total := 0.0
+		for _, v := range norms {
+			total += v
+		}
+		s.X[0] += total * 1e-15
+	}
+	return nil
+}
+
+// Checksum implements app.Instance.
+func (h *hpcg) Checksum() uint64 {
+	hs := fnv.New64a()
+	s := &h.st
+	fmt.Fprintf(hs, "hpcg:%d:%d:%.14e;", s.D.Rank, s.Iter, s.RtR)
+	for i := 0; i < len(s.X); i += 13 {
+		fmt.Fprintf(hs, "%.10e,", s.X[i])
+	}
+	for _, v := range s.Partition {
+		fmt.Fprintf(hs, "%d,", v)
+	}
+	return hs.Sum64()
+}
+
+// Snapshot implements app.Instance.
+func (h *hpcg) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&h.st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore implements app.Instance.
+func (h *hpcg) Restore(data []byte) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&h.st); err != nil {
+		return err
+	}
+	h.in = h.st.In
+	return nil
+}
+
+// FootprintBytes implements app.Instance (Table 3: 934 MB/rank).
+func (h *hpcg) FootprintBytes() int64 { return int64(h.in.FootprintMB) << 20 }

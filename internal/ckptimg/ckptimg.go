@@ -1,0 +1,168 @@
+// Package ckptimg defines the checkpoint image format: the serialized
+// upper half of one MANA rank. An image contains the application state
+// blob, the virtual-id store snapshot (Section 4.2: "the structures are
+// then saved as part of the checkpoint image"), the drained in-flight
+// messages, the point-to-point counters, and enough identity metadata to
+// validate a restart.
+//
+// The encoding is a fixed header (magic, version, CRC-32 of the body)
+// followed by a gob-encoded Image. The CRC turns torn or corrupted
+// images into clean errors instead of undefined restarts.
+package ckptimg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+
+	"manasim/internal/mpi"
+	"manasim/internal/vid"
+)
+
+// Magic identifies a MANA checkpoint image.
+var Magic = [8]byte{'M', 'A', 'N', 'A', 'C', 'K', 'P', 'T'}
+
+// Version is the current image format version.
+const Version uint32 = 2
+
+// DrainedMsg is one in-flight point-to-point message captured by the
+// drain protocol. The communicator is named by its ggid — the global
+// group id is the only communicator name that survives restart.
+type DrainedMsg struct {
+	// GGID names the communicator the message was sent on.
+	GGID uint32
+	// SrcCommRank is the sender's rank within that communicator.
+	SrcCommRank int
+	// SrcWorld is the sender's world rank (counter bookkeeping).
+	SrcWorld int
+	// Tag is the message tag.
+	Tag int
+	// Payload is the packed message body.
+	Payload []byte
+}
+
+// ReqResult records the completion of a receive request that MANA
+// finished during the checkpoint drain; after restart, Wait/Test on the
+// virtual request returns this status (the data already sits in the
+// restored application buffer).
+type ReqResult struct {
+	Virt mpi.Handle
+	St   mpi.Status
+}
+
+// Image is the serialized upper half of one rank.
+type Image struct {
+	// Identity.
+	Rank   int
+	NRanks int
+	Step   int // boundary index at which the checkpoint was taken
+	// Impl is the MPI implementation the image was taken under (for
+	// diagnostics; restart may use a different one with uniform
+	// handles).
+	Impl string
+	// Design is the vid store design ("virtid" or "legacy").
+	Design string
+	// UniformHandles records whether virtual handles use the 64-bit
+	// MANA embedding (required for cross-implementation restart).
+	UniformHandles bool
+
+	// AppState is the application instance snapshot.
+	AppState []byte
+	// ModeledBytes is the modeled full working-set size (Table 3); the
+	// filesystem model charges for it in addition to the real bytes.
+	ModeledBytes int64
+
+	// Store is the virtual-id table snapshot.
+	Store vid.StoreSnapshot
+	// Drained holds the in-flight messages captured by the drain.
+	Drained []DrainedMsg
+	// ReqResults holds receive requests completed during the drain.
+	ReqResults []ReqResult
+
+	// SentTo and RecvFrom are the per-world-rank p2p counters at the
+	// cut, carried so the next checkpoint's accounting stays exact.
+	SentTo   []uint64
+	RecvFrom []uint64
+}
+
+// Encode serializes the image with header and checksum.
+func Encode(img *Image) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(img); err != nil {
+		return nil, fmt.Errorf("ckptimg: encode: %w", err)
+	}
+	out := make([]byte, 0, 16+body.Len())
+	out = append(out, Magic[:]...)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Version)
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body.Bytes()))
+	out = append(out, hdr[:]...)
+	out = append(out, body.Bytes()...)
+	return out, nil
+}
+
+// Decode validates and deserializes an image.
+func Decode(data []byte) (*Image, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("ckptimg: image truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:8], Magic[:]) {
+		return nil, fmt.Errorf("ckptimg: bad magic %q", data[:8])
+	}
+	ver := binary.LittleEndian.Uint32(data[8:12])
+	if ver != Version {
+		return nil, fmt.Errorf("ckptimg: unsupported image version %d (want %d)", ver, Version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[12:16])
+	body := data[16:]
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, fmt.Errorf("ckptimg: checksum mismatch (image corrupted): %08x != %08x", got, wantCRC)
+	}
+	var img Image
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("ckptimg: decode: %w", err)
+	}
+	return &img, nil
+}
+
+// ValidateSet checks that a set of images forms one consistent job
+// checkpoint: one image per rank, same step, same rank count, same
+// design.
+func ValidateSet(imgs []*Image) error {
+	if len(imgs) == 0 {
+		return fmt.Errorf("ckptimg: empty image set")
+	}
+	n := imgs[0].NRanks
+	if len(imgs) != n {
+		return fmt.Errorf("ckptimg: %d images for a %d-rank job", len(imgs), n)
+	}
+	seen := make([]bool, n)
+	for _, img := range imgs {
+		if img.NRanks != n {
+			return fmt.Errorf("ckptimg: rank %d image claims %d ranks, others %d", img.Rank, img.NRanks, n)
+		}
+		if img.Rank < 0 || img.Rank >= n {
+			return fmt.Errorf("ckptimg: image rank %d out of range", img.Rank)
+		}
+		if seen[img.Rank] {
+			return fmt.Errorf("ckptimg: duplicate image for rank %d", img.Rank)
+		}
+		seen[img.Rank] = true
+		if img.Step != imgs[0].Step {
+			return fmt.Errorf("ckptimg: inconsistent cut: rank %d at step %d, rank %d at step %d",
+				img.Rank, img.Step, imgs[0].Rank, imgs[0].Step)
+		}
+		if img.Design != imgs[0].Design {
+			return fmt.Errorf("ckptimg: mixed vid designs %q and %q", img.Design, imgs[0].Design)
+		}
+	}
+	return nil
+}
+
+// TotalBytes reports real plus modeled bytes of an image, the size the
+// filesystem model charges for.
+func (img *Image) TotalBytes(realEncoded int) int64 {
+	return int64(realEncoded) + img.ModeledBytes
+}

@@ -1,0 +1,144 @@
+package ckptimg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"manasim/internal/mpi"
+	"manasim/internal/vid"
+)
+
+func sampleImage(rank, n, step int) *Image {
+	return &Image{
+		Rank: rank, NRanks: n, Step: step,
+		Impl: "mpich", Design: "virtid",
+		AppState:     []byte{1, 2, 3, byte(rank)},
+		ModeledBytes: 32 << 20,
+		Store: vid.StoreSnapshot{
+			Design: "virtid",
+			Items: []vid.Item{{
+				Kind: mpi.KindComm,
+				Virt: 0x2000_0001,
+				GGID: 0xABCD,
+				Desc: vid.Descriptor{Op: vid.DescConst, Const: mpi.ConstCommWorld},
+				Seq:  1,
+			}},
+			Seq: 1,
+		},
+		Drained: []DrainedMsg{
+			{GGID: 0xABCD, SrcCommRank: 1, SrcWorld: 1, Tag: 7, Payload: []byte{9, 9}},
+		},
+		ReqResults: []ReqResult{{Virt: 5, St: mpi.Status{Source: 1, Tag: 7, Bytes: 2}}},
+		SentTo:     []uint64{0, 3},
+		RecvFrom:   []uint64{0, 2},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	img := sampleImage(0, 2, 4)
+	data, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 0 || got.NRanks != 2 || got.Step != 4 || got.Impl != "mpich" {
+		t.Fatalf("identity %+v", got)
+	}
+	if len(got.Drained) != 1 || got.Drained[0].GGID != 0xABCD || got.Drained[0].Payload[0] != 9 {
+		t.Fatalf("drained %+v", got.Drained)
+	}
+	if got.Store.Items[0].Desc.Const != mpi.ConstCommWorld {
+		t.Fatalf("store %+v", got.Store.Items[0])
+	}
+	if got.ReqResults[0].St.Bytes != 2 {
+		t.Fatalf("reqresults %+v", got.ReqResults)
+	}
+	if got.SentTo[1] != 3 || got.RecvFrom[1] != 2 {
+		t.Fatalf("counters %v %v", got.SentTo, got.RecvFrom)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(sampleImage(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip each byte position in the body region; every flip must be
+	// detected by the CRC.
+	for off := 16; off < len(data); off += 7 {
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 0x01
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("flip at %d undetected", off)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationProperty(t *testing.T) {
+	data, err := Encode(sampleImage(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(cut uint16) bool {
+		n := int(cut) % len(data)
+		_, err := Decode(data[:n])
+		return err != nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadMagicAndVersion(t *testing.T) {
+	data, _ := Encode(sampleImage(0, 1, 0))
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), data...)
+	bad[8] = 0xFF // version
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version: %v", err)
+	}
+}
+
+func TestValidateSet(t *testing.T) {
+	a, b := sampleImage(0, 2, 4), sampleImage(1, 2, 4)
+	if err := ValidateSet([]*Image{a, b}); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	if err := ValidateSet(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if err := ValidateSet([]*Image{a}); err == nil {
+		t.Fatal("incomplete set accepted")
+	}
+	if err := ValidateSet([]*Image{a, a}); err == nil {
+		t.Fatal("duplicate rank accepted")
+	}
+	c := sampleImage(1, 2, 5) // inconsistent step
+	if err := ValidateSet([]*Image{a, c}); err == nil {
+		t.Fatal("inconsistent cut accepted")
+	}
+	d := sampleImage(1, 2, 4)
+	d.Design = "legacy"
+	if err := ValidateSet([]*Image{a, d}); err == nil {
+		t.Fatal("mixed designs accepted")
+	}
+	e := sampleImage(1, 3, 4) // claims different world size
+	if err := ValidateSet([]*Image{a, e}); err == nil {
+		t.Fatal("mixed rank counts accepted")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	img := sampleImage(0, 1, 0)
+	if got := img.TotalBytes(1000); got != 1000+32<<20 {
+		t.Fatalf("total %d", got)
+	}
+}

@@ -1,0 +1,140 @@
+// Package cluster launches simulated MPI jobs: one goroutine per rank,
+// one lower-half library instance per rank, one shared transport fabric.
+// It is the moral equivalent of srun/mpirun in this repository.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"manasim/internal/mpi"
+	"manasim/internal/simtime"
+	"manasim/internal/transport"
+)
+
+// Factory instantiates one rank's lower-half MPI library. The impls
+// package registers the four simulated implementations as Factories.
+type Factory func(fab *transport.Fabric, rank int, clock *simtime.Clock, net simtime.NetModel) mpi.Proc
+
+// RankFn is the body executed by each rank of a job. proc is the rank's
+// own lower-half library; clock is its virtual clock.
+type RankFn func(rank int, proc mpi.Proc, clock *simtime.Clock) error
+
+// Result summarizes a completed job.
+type Result struct {
+	// VT is the job's virtual runtime: the maximum rank clock at exit
+	// (how long the job would have taken on the modeled hardware).
+	VT time.Duration
+	// PerRankVT holds each rank's final virtual time.
+	PerRankVT []time.Duration
+	// Wall is the real time the simulation took.
+	Wall time.Duration
+}
+
+// RankError wraps an error with the rank that produced it.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Job is a configured but independently steerable job: callers that need
+// access to the fabric or per-rank procs (MANA's restart path does) use
+// New/Start/WaitResult instead of the one-shot Run.
+type Job struct {
+	Fabric *transport.Fabric
+	Clocks []*simtime.Clock
+	Procs  []mpi.Proc
+
+	n       int
+	errs    []error
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// New builds a job with n ranks over a fresh fabric, instantiating the
+// lower half with the given implementation factory.
+func New(n int, factory Factory, net simtime.NetModel) *Job {
+	fab := transport.NewFabric(n)
+	j := &Job{
+		Fabric: fab,
+		Clocks: make([]*simtime.Clock, n),
+		Procs:  make([]mpi.Proc, n),
+		n:      n,
+		errs:   make([]error, n),
+	}
+	for r := 0; r < n; r++ {
+		j.Clocks[r] = simtime.NewClock()
+		j.Procs[r] = factory(fab, r, j.Clocks[r], net)
+		if ab, ok := j.Procs[r].(interface{ SetAbort(func(int)) }); ok {
+			ab.SetAbort(func(code int) {
+				// An abort tears down the interconnect: every rank
+				// blocked in communication fails fast, like a real
+				// MPI_Abort killing the job step.
+				fab.Close()
+			})
+		}
+	}
+	return j
+}
+
+// Start launches all rank goroutines.
+func (j *Job) Start(fn RankFn) {
+	j.started = time.Now()
+	for r := 0; r < j.n; r++ {
+		j.wg.Add(1)
+		go func(rank int) {
+			defer j.wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					j.errs[rank] = fmt.Errorf("panic: %v", p)
+					j.Fabric.Close()
+				}
+			}()
+			j.errs[rank] = fn(rank, j.Procs[rank], j.Clocks[rank])
+			if j.errs[rank] != nil {
+				// A failed rank aborts the job step so peers blocked in
+				// communication do not hang.
+				j.Fabric.Close()
+			}
+		}(r)
+	}
+}
+
+// WaitResult blocks until every rank returns and reports the outcome.
+// The error is the lowest-rank failure, wrapped with its rank.
+func (j *Job) WaitResult() (Result, error) {
+	j.wg.Wait()
+	res := Result{
+		PerRankVT: make([]time.Duration, j.n),
+		Wall:      time.Since(j.started),
+	}
+	for r := 0; r < j.n; r++ {
+		res.PerRankVT[r] = j.Clocks[r].Now()
+		if res.PerRankVT[r] > res.VT {
+			res.VT = res.PerRankVT[r]
+		}
+	}
+	var err error
+	for r := 0; r < j.n; r++ {
+		if j.errs[r] != nil {
+			err = &RankError{Rank: r, Err: j.errs[r]}
+			break
+		}
+	}
+	j.Fabric.Close()
+	return res, err
+}
+
+// Run executes fn on n ranks and waits for completion.
+func Run(n int, factory Factory, net simtime.NetModel, fn RankFn) (Result, error) {
+	j := New(n, factory, net)
+	j.Start(fn)
+	return j.WaitResult()
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"manasim/internal/mpi"
+	"manasim/internal/simtime"
+	"manasim/internal/transport"
+)
+
+// fakeProc is a minimal mpi.Proc for launcher tests.
+type fakeProc struct {
+	mpi.Proc // nil embedding: only the methods used below are called
+	rank     int
+	abort    func(int)
+}
+
+func (f *fakeProc) Rank() int             { return f.rank }
+func (f *fakeProc) SetAbort(fn func(int)) { f.abort = fn }
+
+func fakeFactory(fab *transport.Fabric, rank int, clock *simtime.Clock, net simtime.NetModel) mpi.Proc {
+	return &fakeProc{rank: rank}
+}
+
+func TestRunCollectsResults(t *testing.T) {
+	res, err := Run(4, fakeFactory, simtime.NetModel{}, func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		clock.Advance(time.Duration(rank+1) * time.Second)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VT != 4*time.Second {
+		t.Fatalf("VT %v", res.VT)
+	}
+	for r, vt := range res.PerRankVT {
+		if vt != time.Duration(r+1)*time.Second {
+			t.Fatalf("rank %d vt %v", r, vt)
+		}
+	}
+}
+
+func TestLowestRankErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Run(4, fakeFactory, simtime.NetModel{}, func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		if rank == 1 || rank == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v", err)
+	}
+	if re.Rank != 1 || !errors.Is(err, sentinel) {
+		t.Fatalf("wrong rank error %v", re)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	_, err := Run(2, fakeFactory, simtime.NetModel{}, func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		if rank == 0 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic swallowed")
+	}
+}
+
+func TestFailureClosesFabric(t *testing.T) {
+	j := New(2, fakeFactory, simtime.NetModel{})
+	j.Start(func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		if rank == 0 {
+			return errors.New("dead rank")
+		}
+		// Rank 1 blocks on a message that will never come; the fabric
+		// close must wake it instead of hanging the job.
+		_, err := j.Fabric.Endpoint(1).Recv(transport.Match{Context: 1, Src: 0, Tag: 0})
+		if err == nil {
+			return errors.New("blocked recv returned a message")
+		}
+		return nil
+	})
+	done := make(chan struct{})
+	go func() {
+		_, _ = j.WaitResult()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job hung after rank failure")
+	}
+}
+
+func TestAbortInstalled(t *testing.T) {
+	j := New(1, fakeFactory, simtime.NetModel{})
+	fp := j.Procs[0].(*fakeProc)
+	if fp.abort == nil {
+		t.Fatal("abort hook not installed")
+	}
+	fp.abort(1) // must close the fabric
+	if err := j.Fabric.Endpoint(0).Send(0, 1, 0, nil, 0); err == nil {
+		t.Fatal("fabric alive after abort")
+	}
+	j.Start(func(rank int, p mpi.Proc, clock *simtime.Clock) error { return nil })
+	if _, err := j.WaitResult(); err != nil {
+		t.Fatal(err)
+	}
+}

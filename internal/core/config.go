@@ -1,0 +1,133 @@
+// Package mana is the checkpoint-restart system itself: the Go
+// reproduction of MANA with the paper's implementation-oblivious
+// virtual-id architecture.
+//
+// A Runtime is one rank's MANA instance. It implements mpi.Proc, so an
+// application cannot tell whether it runs natively or under MANA: every
+// call is a wrapper (Figure 1's stub functions) that
+//
+//  1. crosses the split-process boundary (charging the fs-register
+//     switch cost and counting a context switch),
+//  2. translates virtual handles to physical handles through the
+//     virtual-id store,
+//  3. invokes the lower-half MPI library,
+//  4. translates results back and records creation recipes for restart.
+//
+// Checkpointing follows MANA's coordinated protocol: stop ranks at safe
+// points, complete pending receives, exchange per-peer send counters
+// over the lower half (MPI_Alltoall, Section 5 category 3), drain
+// in-flight messages with MPI_Iprobe + MPI_Recv (category 1), and write
+// per-rank images containing the upper-half state. Restart launches a
+// fresh lower half — possibly a different MPI implementation — and
+// re-creates every MPI object from the virtual-id descriptors, rebinding
+// virtual ids to the new physical handles (Section 4.2).
+package mana
+
+import (
+	"fmt"
+
+	"manasim/internal/cluster"
+	"manasim/internal/fsim"
+	"manasim/internal/simtime"
+	"manasim/internal/vid"
+	"manasim/internal/vidlegacy"
+)
+
+// Design selects the virtual-id subsystem.
+type Design string
+
+// Supported designs.
+const (
+	// DesignVirtID is the paper's new single-table design.
+	DesignVirtID Design = "virtid"
+	// DesignLegacy is the pre-paper per-kind string-keyed map design
+	// (MPICH family only).
+	DesignLegacy Design = "legacy"
+)
+
+// Config parameterizes a MANA job.
+type Config struct {
+	// ImplName names the lower-half MPI implementation.
+	ImplName string
+	// Factory instantiates the lower half per rank.
+	Factory cluster.Factory
+	// Design selects the virtual-id subsystem (default DesignVirtID).
+	Design Design
+	// GGIDPolicy selects when global group ids are computed
+	// (default eager, the paper's current policy; Section 9).
+	GGIDPolicy vid.GGIDPolicy
+	// UniformHandles embeds virtual ids in 64-bit MANA handles
+	// regardless of the target header, enabling restart under a
+	// different MPI implementation (Section 9 future work).
+	UniformHandles bool
+	// Host supplies the crossing cost and network model.
+	Host simtime.HostProfile
+	// DtypeStrategy selects datatype reconstruction: replay of recorded
+	// constructor calls, or decode via MPI_Type_get_envelope/contents at
+	// checkpoint time (Section 1.2 novelty 4; Section 5 category 2).
+	DtypeStrategy vid.Strategy
+	// FS is the checkpoint filesystem profile (default NFSv3).
+	FS fsim.FS
+	// ExitAtCheckpoint stops the job right after a checkpoint completes
+	// (preemption, the urgent-HPC scenario of the introduction).
+	ExitAtCheckpoint bool
+	// SkewBound is the maximum step skew tolerated between ranks when
+	// coordinating an asynchronous checkpoint request (default 8).
+	SkewBound int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Factory == nil {
+		return c, fmt.Errorf("mana: config needs an MPI implementation factory")
+	}
+	if c.Design == "" {
+		c.Design = DesignVirtID
+	}
+	if c.FS.Name == "" {
+		c.FS = fsim.NFSv3()
+	}
+	if c.Host.Name == "" {
+		c.Host = simtime.Discovery()
+	}
+	if c.SkewBound <= 0 {
+		c.SkewBound = 8
+	}
+	return c, nil
+}
+
+// newStore builds the configured vid store for a lower half with the
+// given handle width.
+func (c Config) newStore(handleBits int) (vid.Store, error) {
+	switch c.Design {
+	case DesignVirtID:
+		return vid.NewStore(handleBits, c.UniformHandles), nil
+	case DesignLegacy:
+		s := vidlegacy.New()
+		if err := s.CompatibleWith(handleBits); err != nil {
+			return nil, err
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("mana: unknown vid design %q", c.Design)
+	}
+}
+
+// restoreStore rebuilds a store from an image snapshot.
+func restoreStore(s vid.StoreSnapshot, handleBits int, uniform bool) (vid.Store, error) {
+	switch Design(s.Design) {
+	case DesignVirtID:
+		return vid.RestoreStore(s, handleBits, uniform)
+	case DesignLegacy:
+		st, err := vidlegacy.Restore(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := st.CompatibleWith(handleBits); err != nil {
+			return nil, err
+		}
+		return st, nil
+	default:
+		return nil, fmt.Errorf("mana: image has unknown vid design %q", s.Design)
+	}
+}

@@ -1,0 +1,259 @@
+package mana
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"manasim/internal/app"
+	"manasim/internal/ckptimg"
+	"manasim/internal/cluster"
+	"manasim/internal/mpi"
+	"manasim/internal/simtime"
+)
+
+// Stats summarizes a completed job.
+type Stats struct {
+	// VT is the job's virtual runtime (max over ranks), the quantity
+	// the paper's figures plot.
+	VT time.Duration
+	// PerRankVT is each rank's final virtual time.
+	PerRankVT []time.Duration
+	// Wall is the real simulation time.
+	Wall time.Duration
+	// Crossings is the total number of fs-register switches (Section
+	// 6.3's context switches). Zero for native runs.
+	Crossings uint64
+	// WrapperCalls is the total number of wrapped MPI calls.
+	WrapperCalls uint64
+	// CkptTaken is the number of complete checkpoints written.
+	CkptTaken int
+	// Stopped reports that the job exited at a checkpoint (preemption).
+	Stopped bool
+	// Checksums holds each rank's application checksum (correctness
+	// comparisons between native, MANA, and restarted runs).
+	Checksums []uint64
+}
+
+// Session is a running MANA job.
+type Session struct {
+	Co *Coordinator
+
+	cfg       Config
+	job       *cluster.Job
+	n         int
+	runtimes  []*Runtime
+	checksums []uint64
+	stopped   []bool
+}
+
+// StartJob launches an n-rank application under MANA.
+func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:       cfg,
+		n:         n,
+		Co:        NewCoordinator(n, cfg.FS, nil, cfg.SkewBound),
+		runtimes:  make([]*Runtime, n),
+		checksums: make([]uint64, n),
+		stopped:   make([]bool, n),
+	}
+	s.job = cluster.New(n, cfg.Factory, cfg.Host.Net)
+	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
+		rt, err := NewRuntime(cfg, proc, clock, s.Co)
+		if err != nil {
+			return err
+		}
+		s.runtimes[rank] = rt
+		inst := factory()
+		return s.runRank(rt, inst, rank, 0, true)
+	})
+	return s, nil
+}
+
+// RestartJob resumes a job from a complete set of checkpoint images.
+// The configuration's implementation may differ from the one the images
+// were taken under if the images carry uniform handles (Section 9).
+func RestartJob(cfg Config, images [][]byte, factory app.Factory) (*Session, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	imgs := make([]*ckptimg.Image, len(images))
+	for i, data := range images {
+		img, err := ckptimg.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("mana: restart: %w", err)
+		}
+		imgs[i] = img
+	}
+	if err := ckptimg.ValidateSet(imgs); err != nil {
+		return nil, fmt.Errorf("mana: restart: %w", err)
+	}
+	byRank := make([]*ckptimg.Image, len(imgs))
+	for _, img := range imgs {
+		byRank[img.Rank] = img
+	}
+	n := imgs[0].NRanks
+
+	s := &Session{
+		cfg:       cfg,
+		n:         n,
+		Co:        NewCoordinator(n, cfg.FS, nil, cfg.SkewBound),
+		runtimes:  make([]*Runtime, n),
+		checksums: make([]uint64, n),
+		stopped:   make([]bool, n),
+	}
+	s.job = cluster.New(n, cfg.Factory, cfg.Host.Net)
+	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
+		img := byRank[rank]
+		rt, err := NewRuntimeFromImage(cfg, proc, clock, s.Co, img)
+		if err != nil {
+			return err
+		}
+		s.runtimes[rank] = rt
+		inst := factory()
+		if err := inst.Restore(img.AppState); err != nil {
+			return fmt.Errorf("mana: restoring application state: %w", err)
+		}
+		return s.runRank(rt, inst, rank, img.Step, false)
+	})
+	return s, nil
+}
+
+// runRank drives one rank's step loop with checkpoint safe points
+// between steps.
+func (s *Session) runRank(rt *Runtime, inst app.Instance, rank, startStep int, fresh bool) error {
+	env := &app.Env{P: rt, Clock: rt.clock, Rank: rank, Size: rt.size}
+	if fresh {
+		if err := inst.Setup(env); err != nil {
+			return fmt.Errorf("setup: %w", err)
+		}
+	}
+	rt.SetSnapshotFns(inst.Snapshot, inst.FootprintBytes)
+	total := inst.Steps()
+	for step := startStep; step < total; step++ {
+		if err := rt.AtBoundary(step, total); err != nil {
+			if errors.Is(err, ErrStoppedAtCheckpoint) {
+				s.stopped[rank] = true
+				s.checksums[rank] = inst.Checksum()
+				return nil
+			}
+			return err
+		}
+		if err := inst.Step(env, step); err != nil {
+			return fmt.Errorf("step %d: %w", step, err)
+		}
+	}
+	// Final boundary: a checkpoint scheduled at or beyond the last step
+	// lands here.
+	if err := rt.AtBoundary(total, total); err != nil {
+		if errors.Is(err, ErrStoppedAtCheckpoint) {
+			s.stopped[rank] = true
+			s.checksums[rank] = inst.Checksum()
+			return nil
+		}
+		return err
+	}
+	if err := inst.Finalize(env); err != nil {
+		return fmt.Errorf("finalize: %w", err)
+	}
+	s.checksums[rank] = inst.Checksum()
+	return nil
+}
+
+// Wait blocks until the job completes and returns its statistics.
+func (s *Session) Wait() (Stats, error) {
+	res, err := s.job.WaitResult()
+	st := Stats{
+		VT:        res.VT,
+		PerRankVT: res.PerRankVT,
+		Wall:      res.Wall,
+		CkptTaken: s.Co.Taken(),
+		Checksums: s.checksums,
+	}
+	for _, rt := range s.runtimes {
+		if rt == nil {
+			continue
+		}
+		st.Crossings += rt.Boundary().Crossings()
+		st.WrapperCalls += rt.WrapperCalls()
+	}
+	for _, stopped := range s.stopped {
+		if stopped {
+			st.Stopped = true
+		}
+	}
+	return st, err
+}
+
+// Run starts a MANA job and waits for it; ckptAtStep >= 0 schedules one
+// checkpoint at that boundary.
+func Run(cfg Config, n int, factory app.Factory, ckptAtStep int) (Stats, [][]byte, error) {
+	s, err := StartJob(cfg, n, factory)
+	if err != nil {
+		return Stats{}, nil, err
+	}
+	if ckptAtStep >= 0 {
+		s.Co.RequestCheckpointAtStep(ckptAtStep)
+	}
+	st, err := s.Wait()
+	if err != nil {
+		return st, nil, err
+	}
+	var images [][]byte
+	if st.CkptTaken > 0 {
+		images, err = s.Co.Images()
+		if err != nil {
+			return st, nil, err
+		}
+	}
+	return st, images, nil
+}
+
+// Restart resumes from images and waits for completion.
+func Restart(cfg Config, images [][]byte, factory app.Factory) (Stats, error) {
+	s, err := RestartJob(cfg, images, factory)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Wait()
+}
+
+// RunNative executes the application directly against the lower half —
+// no wrappers, no virtual ids, no checkpointing. This is the "native"
+// baseline of Figures 2-4.
+func RunNative(cfg Config, n int, factory app.Factory) (Stats, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return Stats{}, err
+	}
+	checksums := make([]uint64, n)
+	res, err := cluster.Run(n, cfg.Factory, cfg.Host.Net, func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
+		inst := factory()
+		env := &app.Env{P: proc, Clock: clock, Rank: rank, Size: n}
+		if err := inst.Setup(env); err != nil {
+			return fmt.Errorf("setup: %w", err)
+		}
+		total := inst.Steps()
+		for step := 0; step < total; step++ {
+			if err := inst.Step(env, step); err != nil {
+				return fmt.Errorf("step %d: %w", step, err)
+			}
+		}
+		if err := inst.Finalize(env); err != nil {
+			return fmt.Errorf("finalize: %w", err)
+		}
+		checksums[rank] = inst.Checksum()
+		return nil
+	})
+	return Stats{
+		VT:        res.VT,
+		PerRankVT: res.PerRankVT,
+		Wall:      res.Wall,
+		Checksums: checksums,
+	}, err
+}

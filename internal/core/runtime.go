@@ -1,0 +1,393 @@
+package mana
+
+import (
+	"fmt"
+	"time"
+
+	"manasim/internal/ckptimg"
+	"manasim/internal/mpi"
+	"manasim/internal/simtime"
+	"manasim/internal/splitproc"
+	"manasim/internal/vid"
+)
+
+// Runtime is one rank's MANA instance: the upper-half wrapper library of
+// Figure 1. It implements mpi.Proc so applications link against it
+// exactly as they would against the real library.
+type Runtime struct {
+	cfg   Config
+	lower mpi.Proc
+	store vid.Store
+	bnd   *splitproc.Boundary
+	clock *simtime.Clock
+
+	rank, size int
+
+	// manaComm is MANA's private duplicate of MPI_COMM_WORLD in the
+	// lower half, used for the checkpoint protocol's internal traffic
+	// (Section 5, category 3). It is not in the vid store: a restart
+	// recreates it before replay.
+	manaComm mpi.Handle
+
+	// consts caches the virtual handles of predefined constants.
+	consts      [mpi.NumConstNames]mpi.Handle
+	constsBound [mpi.NumConstNames]bool
+
+	// members caches communicator membership (world ranks, in comm-rank
+	// order) keyed by virtual comm handle — MANA-specific information
+	// associated with the MPI object (Section 4.2).
+	members map[mpi.Handle][]int
+
+	// reqBufs holds the destination buffers of pending receive
+	// requests; the drain protocol completes them in place.
+	reqBufs map[mpi.Handle]pendingRecv
+
+	// reqResults holds statuses of requests completed by the drain (or
+	// restored from an image); Wait/Test consume them.
+	reqResults map[mpi.Handle]mpi.Status
+
+	// drained holds in-flight messages captured at the last checkpoint,
+	// served to receives before the lower half is consulted.
+	drained []ckptimg.DrainedMsg
+
+	// sentTo / recvFrom count wrapper-level point-to-point messages per
+	// world rank; the drain protocol reconciles them.
+	sentTo, recvFrom []uint64
+
+	// wrapperCalls counts MPI calls that crossed the boundary (§6.3).
+	wrapperCalls uint64
+
+	co      *Coordinator
+	stepNow int
+	// ckptAtStep is the agreed checkpoint boundary (-1: none pending).
+	ckptAtStep int
+
+	snapshotFn  func() ([]byte, error)
+	footprintFn func() int64
+}
+
+// pendingRecv records an incomplete Irecv.
+type pendingRecv struct {
+	buf   []byte
+	count int
+	dt    mpi.Handle // virtual datatype
+	comm  mpi.Handle // virtual comm
+	src   int
+	tag   int
+}
+
+// NewRuntime wraps a fresh lower half for one rank.
+func NewRuntime(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *Coordinator) (*Runtime, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	store, err := cfg.newStore(handleBitsOf(lower))
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:        cfg,
+		lower:      lower,
+		store:      store,
+		bnd:        splitproc.New(clock, cfg.Host),
+		clock:      clock,
+		rank:       lower.Rank(),
+		size:       lower.Size(),
+		members:    make(map[mpi.Handle][]int),
+		reqBufs:    make(map[mpi.Handle]pendingRecv),
+		reqResults: make(map[mpi.Handle]mpi.Status),
+		sentTo:     make([]uint64, lower.Size()),
+		recvFrom:   make([]uint64, lower.Size()),
+		co:         co,
+		ckptAtStep: -1,
+	}
+	markResolvedCaller(lower)
+	if err := rt.initManaComm(); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// handleBitsOf reads the lower half's declared handle width.
+func handleBitsOf(p mpi.Proc) int { return p.HandleBits() }
+
+// markResolvedCaller tells lower halves with a lazy handle-resolution
+// path (ExaMPI) that MANA passes pre-resolved physical handles, so they
+// may skip the expensive lazy guard (paper Section 6.2).
+func markResolvedCaller(p mpi.Proc) {
+	if rc, ok := p.(interface{ SetResolvedCaller(bool) }); ok {
+		rc.SetResolvedCaller(true)
+	}
+}
+
+// initManaComm duplicates the world communicator for MANA-internal use.
+func (r *Runtime) initManaComm() error {
+	worldPhys, err := r.lower.LookupConst(mpi.ConstCommWorld)
+	if err != nil {
+		return fmt.Errorf("mana: resolving MPI_COMM_WORLD: %w", err)
+	}
+	r.bnd.Enter()
+	mc, err := r.lower.CommDup(worldPhys)
+	r.bnd.Leave()
+	if err != nil {
+		return fmt.Errorf("mana: creating internal communicator: %w", err)
+	}
+	r.manaComm = mc
+	return nil
+}
+
+// Boundary exposes the split-process boundary (context-switch counters,
+// Section 6.3).
+func (r *Runtime) Boundary() *splitproc.Boundary { return r.bnd }
+
+// WrapperCalls reports the number of wrapped MPI calls.
+func (r *Runtime) WrapperCalls() uint64 { return r.wrapperCalls }
+
+// Store exposes the virtual-id store (tests, diagnostics).
+func (r *Runtime) Store() vid.Store { return r.store }
+
+// Lower exposes the lower-half library (tests only).
+func (r *Runtime) Lower() mpi.Proc { return r.lower }
+
+// DrainedCount reports the number of buffered drained messages not yet
+// re-delivered.
+func (r *Runtime) DrainedCount() int { return len(r.drained) }
+
+// ---------------------------------------------------------------------
+// identity and constants
+
+// Rank implements mpi.Proc.
+func (r *Runtime) Rank() int { return r.rank }
+
+// Size implements mpi.Proc.
+func (r *Runtime) Size() int { return r.size }
+
+// ImplName implements mpi.Proc: MANA identifies itself plus the lower
+// half, as `mpirun` output would show.
+func (r *Runtime) ImplName() string { return "mana+" + r.lower.ImplName() }
+
+// ImplVersion implements mpi.Proc.
+func (r *Runtime) ImplVersion() string {
+	return fmt.Sprintf("MANA virtId(%s) over %s", r.store.DesignName(), r.lower.ImplVersion())
+}
+
+// HandleBits implements mpi.Proc: with uniform handles the application
+// sees MANA's own 64-bit types (the MANA mpi.h of Section 9), otherwise
+// the lower half's declared width.
+func (r *Runtime) HandleBits() int {
+	if r.cfg.UniformHandles {
+		return 64
+	}
+	return r.lower.HandleBits()
+}
+
+// Caps implements mpi.Proc.
+func (r *Runtime) Caps() mpi.CapSet { return r.lower.Caps() }
+
+// WTime implements mpi.Proc.
+func (r *Runtime) WTime() time.Duration { return r.clock.Now() }
+
+// LookupConst implements mpi.Proc: the wrapper resolves the constant in
+// the lower half on first use and hands the application a virtual handle
+// that stays valid across restart (Section 4.3: constants may be
+// functions, resolved per library instance).
+func (r *Runtime) LookupConst(name mpi.ConstName) (mpi.Handle, error) {
+	if name < 0 || name >= mpi.NumConstNames {
+		return mpi.HandleNull, mpi.Errorf(mpi.ErrArg, "unknown constant %v", name)
+	}
+	if r.constsBound[name] {
+		return r.consts[name], nil
+	}
+	r.bnd.Enter()
+	phys, err := r.lower.LookupConst(name)
+	r.bnd.Leave()
+	if err != nil {
+		return mpi.HandleNull, err
+	}
+	kind := name.Kind()
+	// ExaMPI aliases constants (MPI_CHAR and MPI_BYTE share a pointer);
+	// if the physical handle is already virtualized, reuse its id.
+	if virt, ok := r.store.Virt(kind, phys); ok {
+		r.consts[name] = virt
+		r.constsBound[name] = true
+		return virt, nil
+	}
+	virt, err := r.store.Add(kind, phys, vid.Descriptor{Op: vid.DescConst, Const: name}, vid.StrategyReplay)
+	if err != nil {
+		return mpi.HandleNull, err
+	}
+	if kind == mpi.KindComm {
+		if err := r.cacheCommMembership(virt, phys); err != nil {
+			return mpi.HandleNull, err
+		}
+		if r.cfg.GGIDPolicy == vid.GGIDEager {
+			if err := r.computeGGID(virt); err != nil {
+				return mpi.HandleNull, err
+			}
+		}
+	}
+	r.consts[name] = virt
+	r.constsBound[name] = true
+	return virt, nil
+}
+
+// ---------------------------------------------------------------------
+// membership and ggid helpers
+
+// cacheCommMembership decodes and caches a communicator's world-rank
+// membership using the lower half's decode functions (Section 5,
+// category 2: MPI_Comm_group + MPI_Group_translate_ranks).
+func (r *Runtime) cacheCommMembership(virt, phys mpi.Handle) error {
+	worldPhys, err := r.lower.LookupConst(mpi.ConstCommWorld)
+	if err != nil {
+		return err
+	}
+	r.bnd.Enter()
+	defer r.bnd.Leave()
+	g, err := r.lower.CommGroup(phys)
+	if err != nil {
+		return err
+	}
+	wg, err := r.lower.CommGroup(worldPhys)
+	if err != nil {
+		return err
+	}
+	n, err := r.lower.GroupSize(g)
+	if err != nil {
+		return err
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	world, err := r.lower.GroupTranslateRanks(g, ranks, wg)
+	if err != nil {
+		return err
+	}
+	_ = r.lower.GroupFree(g)
+	_ = r.lower.GroupFree(wg)
+	r.members[virt] = world
+	return nil
+}
+
+// membership returns the cached world-rank membership of a virtual comm.
+func (r *Runtime) membership(virt mpi.Handle) ([]int, error) {
+	m, ok := r.members[virt]
+	if !ok {
+		return nil, mpi.Errorf(mpi.ErrComm, "mana: no membership cached for communicator %#x", uint64(virt))
+	}
+	return m, nil
+}
+
+// computeGGID computes and stores the global group id of a communicator
+// by decoding its membership through the lower half (MPI_Comm_group +
+// MPI_Group_translate_ranks, Section 5 category 2). The decode is
+// performed even though MANA caches membership for counter bookkeeping,
+// because the ggid definition is pinned to the lower half's view; this
+// is the per-creation cost that motivates the lazy/hybrid policies of
+// Section 9 for communicator-churning codes.
+func (r *Runtime) computeGGID(virt mpi.Handle) error {
+	phys, err := r.store.Phys(mpi.KindComm, virt)
+	if err != nil {
+		return err
+	}
+	worldPhys, err := r.lower.LookupConst(mpi.ConstCommWorld)
+	if err != nil {
+		return err
+	}
+	r.bnd.Enter()
+	g, err := r.lower.CommGroup(phys)
+	if err != nil {
+		r.bnd.Leave()
+		return err
+	}
+	wg, err := r.lower.CommGroup(worldPhys)
+	if err != nil {
+		r.bnd.Leave()
+		return err
+	}
+	n, err := r.lower.GroupSize(g)
+	if err != nil {
+		r.bnd.Leave()
+		return err
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	world, err := r.lower.GroupTranslateRanks(g, ranks, wg)
+	if err != nil {
+		r.bnd.Leave()
+		return err
+	}
+	_ = r.lower.GroupFree(g)
+	_ = r.lower.GroupFree(wg)
+	r.bnd.Leave()
+	return r.store.SetGGID(mpi.KindComm, virt, vid.GGIDOf(world))
+}
+
+// ggidOf returns the communicator's ggid, computing it on demand under
+// the lazy and hybrid policies.
+func (r *Runtime) ggidOf(virt mpi.Handle) (uint32, error) {
+	g, err := r.store.GGID(mpi.KindComm, virt)
+	if err != nil {
+		return 0, err
+	}
+	if g != 0 {
+		return g, nil
+	}
+	if err := r.computeGGID(virt); err != nil {
+		return 0, err
+	}
+	return r.store.GGID(mpi.KindComm, virt)
+}
+
+// worldOf translates a comm rank to a world rank via the cached
+// membership.
+func (r *Runtime) worldOf(commVirt mpi.Handle, commRank int) (int, error) {
+	m, err := r.membership(commVirt)
+	if err != nil {
+		return 0, err
+	}
+	if commRank < 0 || commRank >= len(m) {
+		return 0, mpi.Errorf(mpi.ErrRank, "mana: rank %d out of range", commRank)
+	}
+	return m[commRank], nil
+}
+
+// ---------------------------------------------------------------------
+// handle translation helpers
+
+func (r *Runtime) physComm(virt mpi.Handle) (mpi.Handle, error) {
+	return r.store.Phys(mpi.KindComm, virt)
+}
+
+func (r *Runtime) physDtype(virt mpi.Handle) (mpi.Handle, error) {
+	return r.store.Phys(mpi.KindDatatype, virt)
+}
+
+func (r *Runtime) physOp(virt mpi.Handle) (mpi.Handle, error) {
+	return r.store.Phys(mpi.KindOp, virt)
+}
+
+func (r *Runtime) physGroup(virt mpi.Handle) (mpi.Handle, error) {
+	return r.store.Phys(mpi.KindGroup, virt)
+}
+
+// Abort implements mpi.Proc.
+func (r *Runtime) Abort(code int) {
+	r.bnd.Enter()
+	r.lower.Abort(code)
+	r.bnd.Leave()
+}
+
+// Finalize implements mpi.Proc.
+func (r *Runtime) Finalize() error {
+	r.bnd.Enter()
+	defer r.bnd.Leave()
+	return r.lower.Finalize()
+}
+
+// Compile-time check: a Runtime is a drop-in mpi.Proc.
+var _ mpi.Proc = (*Runtime)(nil)

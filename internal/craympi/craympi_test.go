@@ -1,0 +1,92 @@
+package craympi
+
+import (
+	"testing"
+	"testing/quick"
+
+	"manasim/internal/mpi"
+)
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(kindU uint8, builtin bool, genU, slabU, slotU uint16) bool {
+		kind := mpi.Kind(kindU%5 + 1)
+		gen := int(genU) & genMask
+		slab := int(slabU) & slabMask
+		slot := int(slotU) & slotMask
+		h := Encode(kind, builtin, gen, slab, slot)
+		k, b, g, sl, st := Decode(h)
+		return k == kind && b == builtin && g == gen && sl == slab && st == slot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVendorTagAlwaysPresent(t *testing.T) {
+	h := Encode(mpi.KindComm, false, 0, 0, 0)
+	if uint32(h)&vendorBit == 0 {
+		t.Fatal("vendor tag missing from user handle")
+	}
+	hb := Encode(mpi.KindComm, true, 0, 0, 0)
+	if uint32(hb)&vendorBit == 0 {
+		t.Fatal("vendor tag missing from builtin handle")
+	}
+}
+
+func TestGenerationInvalidatesStaleHandles(t *testing.T) {
+	tab := newTable()
+	h1 := tab.Insert(mpi.KindDatatype, "first")
+	if err := tab.Remove(h1); err != nil {
+		t.Fatal(err)
+	}
+	h2 := tab.Insert(mpi.KindDatatype, "second")
+	// Same slot, new generation.
+	_, _, g1, sl1, st1 := Decode(h1)
+	_, _, g2, sl2, st2 := Decode(h2)
+	if sl1 != sl2 || st1 != st2 {
+		t.Fatalf("slot not reused: (%d,%d) vs (%d,%d)", sl1, st1, sl2, st2)
+	}
+	if g1 == g2 {
+		t.Fatal("generation not bumped")
+	}
+	if _, err := tab.Lookup(mpi.KindDatatype, h1); err == nil {
+		t.Fatal("stale handle resolved")
+	}
+	got, err := tab.Lookup(mpi.KindDatatype, h2)
+	if err != nil || got != any("second") {
+		t.Fatalf("fresh handle: %v %v", got, err)
+	}
+	// Removing with the stale handle must also fail.
+	if err := tab.Remove(h1); err == nil {
+		t.Fatal("remove with stale handle succeeded")
+	}
+}
+
+func TestGenerationWrapsSafely(t *testing.T) {
+	tab := newTable()
+	var h mpi.Handle
+	// Cycle one slot through more than genMask generations.
+	for i := 0; i <= genMask+2; i++ {
+		h = tab.Insert(mpi.KindOp, i)
+		if i <= genMask+1 {
+			if err := tab.Remove(h); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := tab.Lookup(mpi.KindOp, h); err != nil {
+		t.Fatalf("live handle after generation wrap: %v", err)
+	}
+}
+
+func TestCrayConstantsStable(t *testing.T) {
+	a, b := newTable(), newTable()
+	ha, _ := a.ConstHandle(mpi.ConstCommWorld, func() any { return "w" })
+	hb, _ := b.ConstHandle(mpi.ConstCommWorld, func() any { return "w" })
+	if ha != hb {
+		t.Fatalf("Cray constants differ across instances: %#x vs %#x", uint64(ha), uint64(hb))
+	}
+	if uint64(ha)>>32 != 0 {
+		t.Fatalf("handle %#x not 32-bit", uint64(ha))
+	}
+}

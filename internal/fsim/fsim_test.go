@@ -1,0 +1,102 @@
+package fsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNFSTrendMatchesTable3(t *testing.T) {
+	fs := NFSv3()
+	// Table 3's qualitative claim: checkpoint time grows with image
+	// size, and effective MB/s/rank improves with image size (startup
+	// amortization).
+	sizes := []int64{32 << 20, 42 << 20, 49 << 20, 207 << 20, 934 << 20}
+	for i := 1; i < len(sizes); i++ {
+		if fs.WriteCost(sizes[i]) <= fs.WriteCost(sizes[i-1]) {
+			t.Fatalf("write cost not monotone at %d", sizes[i])
+		}
+		if fs.EffectiveMBps(sizes[i]) <= fs.EffectiveMBps(sizes[i-1]) {
+			t.Fatalf("MB/s/rank not improving at %d", sizes[i])
+		}
+	}
+	// Coarse absolute anchors from Table 3 (CoMD ~8.9s, HPCG ~72.9s).
+	if c := fs.WriteCost(32 << 20).Seconds(); c < 6 || c > 12 {
+		t.Fatalf("CoMD-sized ckpt %.1fs (Table 3: 8.9s)", c)
+	}
+	if c := fs.WriteCost(934 << 20).Seconds(); c < 60 || c > 90 {
+		t.Fatalf("HPCG-sized ckpt %.1fs (Table 3: 72.9s)", c)
+	}
+}
+
+func TestLustreFasterThanNFS(t *testing.T) {
+	if Lustre().WriteCost(100<<20) >= NFSv3().WriteCost(100<<20) {
+		t.Fatal("Lustre not faster than NFS")
+	}
+}
+
+func TestWriteCostMonotoneProperty(t *testing.T) {
+	fs := NFSv3()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return fs.WriteCost(x) <= fs.WriteCost(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCheaperThanWrite(t *testing.T) {
+	fs := NFSv3()
+	if fs.ReadCost(207<<20) >= fs.WriteCost(207<<20) {
+		t.Fatal("read not cheaper than write")
+	}
+}
+
+func TestStorageReadWrite(t *testing.T) {
+	s := NewStorage()
+	s.Write("a", []byte{1, 2, 3})
+	got, err := s.Read("a")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("read %v %v", got, err)
+	}
+	// Copies, not aliases.
+	got[0] = 9
+	again, _ := s.Read("a")
+	if again[0] != 1 {
+		t.Fatal("storage aliases caller buffers")
+	}
+	if _, err := s.Read("missing"); err == nil {
+		t.Fatal("missing image read succeeded")
+	}
+	if len(s.Names()) != 1 {
+		t.Fatalf("names %v", s.Names())
+	}
+}
+
+func TestStorageFaultInjection(t *testing.T) {
+	s := NewStorage()
+	s.Write("img", make([]byte, 100))
+	if err := s.Truncate("img", 10); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read("img")
+	if len(got) != 10 {
+		t.Fatalf("truncate left %d bytes", len(got))
+	}
+	if err := s.Corrupt("img", 5); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Read("img")
+	if got[5] == 0 {
+		t.Fatal("corrupt did not flip bits")
+	}
+	if err := s.Corrupt("img", 500); err == nil {
+		t.Fatal("out-of-range corrupt succeeded")
+	}
+	if err := s.Truncate("none", 1); err == nil {
+		t.Fatal("truncate of missing image succeeded")
+	}
+}

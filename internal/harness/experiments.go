@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"manasim/internal/apps"
+	"manasim/internal/ckptimg"
+	mana "manasim/internal/core"
+	"manasim/internal/fsim"
+	"manasim/internal/impls"
+)
+
+// FigureResult is a rendered experiment: groups of bars per application.
+type FigureResult struct {
+	Title string
+	Note  string
+	// Apps holds group labels (paper names).
+	Apps []string
+	// Series holds bar labels in legend order.
+	Series []string
+	// Bars[app][series] is the measurement.
+	Bars map[string]map[string]Measurement
+}
+
+// Figure2 reproduces "Application runtimes of MPI for MPICH versus Open
+// MPI" (five applications, five configurations, Discovery site).
+func Figure2(opts Options) (*FigureResult, error) {
+	cells := []struct {
+		impl string
+		mode Mode
+	}{
+		{"mpich", ModeNative},
+		{"mpich", ModeManaLegacy},
+		{"mpich", ModeManaVirtID},
+		{"openmpi", ModeNative},
+		{"openmpi", ModeManaVirtID},
+	}
+	res := &FigureResult{
+		Title: "Figure 2: Application runtimes, MPICH versus Open MPI (Discovery, no FSGSBASE)",
+		Note:  "native/MPICH, MANA/MPICH (legacy vid), MANA+virtId/MPICH, native/OMPI, MANA+virtId/OMPI",
+		Bars:  map[string]map[string]Measurement{},
+	}
+	for _, c := range cells {
+		res.Series = append(res.Series, Cell{Impl: c.impl, Mode: c.mode}.Label())
+	}
+	for _, appName := range apps.Names() {
+		spec, _ := apps.ByName(appName)
+		res.Apps = append(res.Apps, spec.Paper)
+		res.Bars[spec.Paper] = map[string]Measurement{}
+		for _, c := range cells {
+			m, err := RunCell(Cell{App: appName, Impl: c.impl, Mode: c.mode, Site: apps.SiteDiscovery}, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Bars[spec.Paper][m.Cell.Label()] = m
+		}
+	}
+	return res, nil
+}
+
+// Figure3 reproduces "Runtimes for ExaMPI on Discovery" (LULESH and
+// CoMD only: the ExaMPI-compatible subset).
+func Figure3(opts Options) (*FigureResult, error) {
+	cells := []struct {
+		impl string
+		mode Mode
+	}{
+		{"mpich", ModeNative},
+		{"mpich", ModeManaLegacy},
+		{"mpich", ModeManaVirtID},
+		{"exampi", ModeNative},
+		{"exampi", ModeManaVirtID},
+	}
+	res := &FigureResult{
+		Title: "Figure 3: Runtimes for ExaMPI on Discovery",
+		Note:  "ExaMPI runs the compatible subset (LULESH, CoMD); MANA+virtId under ExaMPI is faster than native ExaMPI (Section 6.2)",
+		Bars:  map[string]map[string]Measurement{},
+	}
+	for _, c := range cells {
+		res.Series = append(res.Series, Cell{Impl: c.impl, Mode: c.mode}.Label())
+	}
+	for _, appName := range []string{"lulesh", "comd"} {
+		spec, _ := apps.ByName(appName)
+		res.Apps = append(res.Apps, spec.Paper)
+		res.Bars[spec.Paper] = map[string]Measurement{}
+		for _, c := range cells {
+			m, err := RunCell(Cell{App: appName, Impl: c.impl, Mode: c.mode, Site: apps.SiteDiscovery}, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Bars[spec.Paper][m.Cell.Label()] = m
+		}
+	}
+	return res, nil
+}
+
+// Figure4 reproduces "Runtimes for Cray MPI on Perlmutter" (CoMD,
+// LAMMPS, SW4 with userspace FSGSBASE).
+func Figure4(opts Options) (*FigureResult, error) {
+	cells := []Mode{ModeNative, ModeManaLegacy, ModeManaVirtID}
+	res := &FigureResult{
+		Title: "Figure 4: Runtimes for Cray MPI on Perlmutter (userspace FSGSBASE)",
+		Note:  "with FSGSBASE, MANA and MANA+virtId perform comparably to native execution (~5% or less)",
+		Bars:  map[string]map[string]Measurement{},
+	}
+	for _, mode := range cells {
+		res.Series = append(res.Series, Cell{Impl: "craympi", Mode: mode}.Label())
+	}
+	for _, appName := range []string{"comd", "lammps", "sw4"} {
+		spec, _ := apps.ByName(appName)
+		res.Apps = append(res.Apps, spec.Paper)
+		res.Bars[spec.Paper] = map[string]Measurement{}
+		for _, mode := range cells {
+			m, err := RunCell(Cell{App: appName, Impl: "craympi", Mode: mode, Site: apps.SitePerlmutter}, opts)
+			if err != nil {
+				return nil, err
+			}
+			res.Bars[spec.Paper][m.Cell.Label()] = m
+		}
+	}
+	return res, nil
+}
+
+// WriteFigure renders a figure result as a text table with overhead
+// percentages against the first native series.
+func WriteFigure(w io.Writer, res *FigureResult) {
+	fmt.Fprintf(w, "%s\n%s\n", res.Title, strings.Repeat("=", len(res.Title)))
+	if res.Note != "" {
+		fmt.Fprintf(w, "%s\n", res.Note)
+	}
+	fmt.Fprintf(w, "\n%-10s", "App")
+	for _, s := range res.Series {
+		fmt.Fprintf(w, " %22s", s)
+	}
+	fmt.Fprintln(w)
+	for _, app := range res.Apps {
+		fmt.Fprintf(w, "%-10s", app)
+		var native Measurement
+		for _, s := range res.Series {
+			m := res.Bars[app][s]
+			if m.Cell.Mode == ModeNative && native.RuntimeS == 0 {
+				native = m
+			}
+		}
+		for _, s := range res.Series {
+			m := res.Bars[app][s]
+			if m.Trials == 0 {
+				fmt.Fprintf(w, " %22s", "-")
+				continue
+			}
+			if m.Cell.Mode == ModeNative {
+				fmt.Fprintf(w, " %15.1fs ±%4.1f", m.RuntimeS, m.StdDevS)
+			} else {
+				base := res.Bars[app][Cell{Impl: m.Cell.Impl, Mode: ModeNative}.Label()]
+				if base.Trials == 0 {
+					base = native
+				}
+				fmt.Fprintf(w, " %9.1fs (%+5.1f%%)", m.RuntimeS, m.OverheadPct(base))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// Table1Row is one row of Table 1/2 (application inputs).
+type Table1Row struct {
+	App, Input string
+	Ranks      int
+}
+
+// Table1 reproduces the input table for a site (Table 1: Discovery;
+// Table 2: Perlmutter).
+func Table1(site apps.Site) []Table1Row {
+	names := apps.Names()
+	if site == apps.SitePerlmutter {
+		names = []string{"comd", "lammps", "sw4"}
+	}
+	var rows []Table1Row
+	for _, n := range names {
+		spec, _ := apps.ByName(n)
+		in := spec.DefaultInput(site)
+		rows = append(rows, Table1Row{App: spec.Paper, Ranks: in.Ranks, Input: spec.InputLine(site)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].App < rows[j].App })
+	return rows
+}
+
+// WriteTable1 renders an input table.
+func WriteTable1(w io.Writer, site apps.Site, rows []Table1Row) {
+	title := "Table 1: Input for each application on a single node (Discovery)"
+	if site == apps.SitePerlmutter {
+		title = "Table 2: Input for each application on Perlmutter"
+	}
+	fmt.Fprintf(w, "%s\n%s\n%-10s %6s  %s\n", title, strings.Repeat("=", len(title)), "App.", "Ranks", "Input")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d  %s\n", r.App, r.Ranks, r.Input)
+	}
+	fmt.Fprintln(w)
+}
+
+// Table3Row is one row of Table 3 (checkpoint times on Discovery NFS).
+type Table3Row struct {
+	App        string
+	SizeMB     float64 // checkpoint size per rank
+	CkptTimeS  float64
+	MBPerSRank float64
+}
+
+// Table3 reproduces "Checkpoint times on Discovery": each application
+// checkpoints under MANA on MPICH; image sizes combine the real encoded
+// upper half with the modeled working set (Table 3 footprints), and
+// write time is charged by the NFSv3 model.
+func Table3(opts Options) ([]Table3Row, error) {
+	opts = opts.normalized()
+	fs := fsim.NFSv3()
+	order := []string{"comd", "lammps", "sw4", "lulesh", "hpcg"}
+	var rows []Table3Row
+	for _, name := range order {
+		spec, err := apps.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		in := spec.DefaultInput(apps.SiteDiscovery)
+		in.SimSteps = max(2, in.SimSteps/opts.Fast)
+		factory, err := impls.Get("mpich")
+		if err != nil {
+			return nil, err
+		}
+		cfg := mana.Config{ImplName: "mpich", Factory: factory, FS: fs, ExitAtCheckpoint: true}
+		_, images, err := mana.Run(cfg, in.Ranks, spec.New(in), in.SimSteps/2)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", name, err)
+		}
+		// Aggregate per-rank image size: real encoded bytes plus the
+		// modeled working set.
+		var total int64
+		for _, data := range images {
+			img, err := ckptimg.Decode(data)
+			if err != nil {
+				return nil, err
+			}
+			total += img.TotalBytes(len(data))
+		}
+		perRank := total / int64(len(images))
+		rows = append(rows, Table3Row{
+			App:        spec.Paper,
+			SizeMB:     float64(perRank) / (1 << 20),
+			CkptTimeS:  fs.WriteCost(perRank).Seconds(),
+			MBPerSRank: fs.EffectiveMBps(perRank),
+		})
+	}
+	return rows, nil
+}
+
+// WriteTable3 renders the checkpoint-time table.
+func WriteTable3(w io.Writer, rows []Table3Row) {
+	title := "Table 3: Checkpoint times on Discovery (NFSv3 model)"
+	fmt.Fprintf(w, "%s\n%s\n%-12s %14s %11s %12s\n", title, strings.Repeat("=", len(title)),
+		"Application", "Ckpt size/rank", "Ckpt time", "MB/s/rank")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12.0fMB %10.1fs %12.1f\n", r.App, r.SizeMB, r.CkptTimeS, r.MBPerSRank)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSRow is one entry of the Section 6.3 context-switch analysis.
+type CSRow struct {
+	App      string
+	Ranks    int
+	CSPerSec float64 // cluster-wide crossings per second under MANA
+}
+
+// ContextSwitches reproduces Section 6.3: the per-application
+// context-switch rates under MANA+virtId on Discovery.
+func ContextSwitches(opts Options) ([]CSRow, error) {
+	var rows []CSRow
+	for _, name := range apps.Names() {
+		spec, _ := apps.ByName(name)
+		in := spec.DefaultInput(apps.SiteDiscovery)
+		m, err := RunCell(Cell{App: name, Impl: "mpich", Mode: ModeManaVirtID, Site: apps.SiteDiscovery}, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CSRow{App: spec.Paper, Ranks: in.Ranks, CSPerSec: m.CSPerSec})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].CSPerSec > rows[j].CSPerSec })
+	return rows, nil
+}
+
+// WriteCS renders the context-switch analysis.
+func WriteCS(w io.Writer, rows []CSRow) {
+	title := "Section 6.3: Context switches per application (MANA+virtId/MPICH, Discovery)"
+	fmt.Fprintf(w, "%s\n%s\n%-10s %6s %14s\n", title, strings.Repeat("=", len(title)), "App", "Ranks", "CS/s (M)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %14.1f\n", r.App, r.Ranks, r.CSPerSec/1e6)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,269 @@
+// Package harness reproduces the paper's evaluation (Section 6): every
+// figure and table is an experiment definition that runs the proxy
+// applications natively and under MANA across the simulated MPI
+// implementations, takes the median of repeated trials, and renders the
+// same rows and series the paper reports.
+//
+// Absolute native runtimes are calibrated (the simulator does not model
+// Xeon or EPYC microarchitecture); every relative quantity — MANA
+// overhead, virtId-vs-legacy deltas, FSGSBASE effects, checkpoint-time
+// trends, context-switch ordering — emerges from executing the real
+// wrapper, virtual-id, and drain mechanisms. EXPERIMENTS.md records
+// paper-vs-measured values.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"manasim/internal/apps"
+	mana "manasim/internal/core"
+	"manasim/internal/fsim"
+	"manasim/internal/impls"
+	"manasim/internal/simtime"
+)
+
+// Mode selects the execution configuration of one bar in a figure.
+type Mode int
+
+// Modes.
+const (
+	// ModeNative runs the application directly on the MPI library.
+	ModeNative Mode = iota
+	// ModeManaLegacy runs under MANA with the pre-paper vid design.
+	ModeManaLegacy
+	// ModeManaVirtID runs under MANA with the paper's new design.
+	ModeManaVirtID
+)
+
+// String names the mode as the figures' legends do.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeManaLegacy:
+		return "MANA"
+	case ModeManaVirtID:
+		return "MANA+virtId"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Cell identifies one measurement: application x implementation x mode
+// on a site.
+type Cell struct {
+	App  string
+	Impl string
+	Mode Mode
+	Site apps.Site
+}
+
+// Label renders the cell as the figures label their bars.
+func (c Cell) Label() string {
+	impl := c.Impl
+	if impl == "openmpi" {
+		impl = "OMPI"
+	}
+	return fmt.Sprintf("%s/%s", c.Mode, impl)
+}
+
+// Measurement is the aggregated result of one cell.
+type Measurement struct {
+	Cell Cell
+	// RuntimeS is the median extrapolated virtual runtime in seconds —
+	// the bar height in Figures 2-4.
+	RuntimeS float64
+	// StdDevS is the standard deviation across trials.
+	StdDevS float64
+	// CSPerSec is the cluster-wide context-switch (fs-register
+	// crossing) rate, Section 6.3's metric. Zero for native runs.
+	CSPerSec float64
+	// WrapperCallsPerStep is the per-rank MPI call count per step.
+	WrapperCallsPerStep float64
+	// Trials is the number of runs aggregated.
+	Trials int
+}
+
+// OverheadPct returns the runtime overhead of m relative to a native
+// baseline measurement.
+func (m Measurement) OverheadPct(native Measurement) float64 {
+	if native.RuntimeS == 0 {
+		return 0
+	}
+	return (m.RuntimeS - native.RuntimeS) / native.RuntimeS * 100
+}
+
+// Options controls harness execution.
+type Options struct {
+	// Trials is the number of repetitions per cell (paper: 10 on
+	// Discovery, 25 on Perlmutter; default 3 here for turnaround).
+	Trials int
+	// Fast divides each application's SimSteps to shorten runs
+	// (1 = calibrated defaults).
+	Fast int
+	// Verbose emits per-trial progress lines via Logf when set.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) normalized() Options {
+	if o.Trials <= 0 {
+		o.Trials = 3
+	}
+	if o.Fast <= 0 {
+		o.Fast = 1
+	}
+	return o
+}
+
+// computeFactor calibrates native per-implementation performance
+// differences (Figure 2's native/OMPI and Figure 3's native/ExaMPI bars;
+// see EXPERIMENTS.md for the derivation).
+func computeFactor(appName, impl string) float64 {
+	switch impl {
+	case "openmpi":
+		switch appName {
+		case "hpcg":
+			return 0.954 // 166s vs 174s: OMPI faster on HPCG
+		case "lulesh":
+			return 0.942 // 163s vs 173s
+		case "comd":
+			return 1.570 // 51.5s vs 32.8s
+		case "lammps":
+			return 1.228 // 35.5s vs 28.9s
+		case "sw4":
+			return 1.233 // 110s vs 89.2s
+		}
+	case "exampi":
+		// Native ExaMPI pays the per-resolution cost mechanically; the
+		// residual gap is compute-side calibration.
+		switch appName {
+		case "comd":
+			return 1.227 // 44.0s total native (Fig. 3)
+		case "lulesh":
+			return 1.005 // 187.4s total native (Fig. 3)
+		}
+	}
+	return 1
+}
+
+// pollFactor models the higher wrapper-call traffic MANA generates on
+// implementations with slower network calls (Section 6.1: more internal
+// MPI_Test polling under Open MPI).
+func pollFactor(impl string) float64 {
+	if impl == "openmpi" {
+		return 1.3
+	}
+	return 1
+}
+
+// hostFor returns the host profile of a site.
+func hostFor(site apps.Site) simtime.HostProfile {
+	if site == apps.SitePerlmutter {
+		return simtime.Perlmutter()
+	}
+	return simtime.Discovery()
+}
+
+// RunCell executes one cell and aggregates its trials.
+func RunCell(cell Cell, opts Options) (Measurement, error) {
+	opts = opts.normalized()
+	spec, err := apps.ByName(cell.App)
+	if err != nil {
+		return Measurement{}, err
+	}
+	factory, err := impls.Get(cell.Impl)
+	if err != nil {
+		return Measurement{}, err
+	}
+
+	in := spec.DefaultInput(cell.Site)
+	in.ComputeFactor = computeFactor(cell.App, cell.Impl)
+	if cell.Mode != ModeNative {
+		in.PollFactor = pollFactor(cell.Impl)
+	}
+	if opts.Fast > 1 {
+		in.SimSteps = max(1, in.SimSteps/opts.Fast)
+	}
+	extra := in.ExtrapolationFactor()
+
+	cfg := mana.Config{
+		ImplName: cell.Impl,
+		Factory:  factory,
+		Host:     hostFor(cell.Site),
+		FS:       fsim.NFSv3(),
+	}
+	switch cell.Mode {
+	case ModeManaLegacy:
+		cfg.Design = mana.DesignLegacy
+	case ModeManaVirtID:
+		cfg.Design = mana.DesignVirtID
+	}
+
+	runtimes := make([]float64, 0, opts.Trials)
+	var csRates, callRates []float64
+	for trial := 0; trial < opts.Trials; trial++ {
+		var st mana.Stats
+		var err error
+		if cell.Mode == ModeNative {
+			st, err = mana.RunNative(cfg, in.Ranks, spec.New(in))
+		} else {
+			st, _, err = mana.Run(cfg, in.Ranks, spec.New(in), -1)
+		}
+		if err != nil {
+			return Measurement{}, fmt.Errorf("%s trial %d: %w", cell.Label(), trial, err)
+		}
+		rt := st.VT.Seconds() * extra
+		runtimes = append(runtimes, rt)
+		if cell.Mode != ModeNative && rt > 0 {
+			csRates = append(csRates, float64(st.Crossings)*extra/rt)
+			callRates = append(callRates, float64(st.WrapperCalls)/float64(in.Ranks)/float64(in.SimSteps))
+		}
+		if opts.Logf != nil {
+			opts.Logf("%s %s trial %d: %.1fs (wall %v)", cell.App, cell.Label(), trial, rt, st.Wall.Round(time.Millisecond))
+		}
+	}
+
+	m := Measurement{
+		Cell:     cell,
+		RuntimeS: median(runtimes),
+		StdDevS:  stddev(runtimes),
+		Trials:   opts.Trials,
+	}
+	if len(csRates) > 0 {
+		m.CSPerSec = median(csRates)
+		m.WrapperCallsPerStep = median(callRates)
+	}
+	return m, nil
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func stddev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range v {
+		mean += x
+	}
+	mean /= float64(len(v))
+	ss := 0.0
+	for _, x := range v {
+		ss += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(ss / float64(len(v)-1))
+}

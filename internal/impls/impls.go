@@ -1,0 +1,45 @@
+// Package impls registers the four simulated MPI implementations under
+// their names, so the harness and CLI can select one the way a user picks
+// an MPI module on a real cluster ("module load cray-mpich").
+package impls
+
+import (
+	"fmt"
+	"sort"
+
+	"manasim/internal/cluster"
+	"manasim/internal/craympi"
+	"manasim/internal/exampi"
+	"manasim/internal/mpich"
+	"manasim/internal/openmpi"
+)
+
+// Factory aliases cluster.Factory: the constructor of one rank's
+// lower-half MPI library.
+type Factory = cluster.Factory
+
+var registry = map[string]Factory{
+	"mpich":   mpich.New,
+	"craympi": craympi.New,
+	"openmpi": openmpi.New,
+	"exampi":  exampi.New,
+}
+
+// Get returns the factory registered under name.
+func Get(name string) (Factory, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("impls: unknown MPI implementation %q (have %v)", name, Names())
+	}
+	return f, nil
+}
+
+// Names lists the registered implementations in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

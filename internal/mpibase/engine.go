@@ -1,0 +1,576 @@
+package mpibase
+
+import (
+	"sort"
+	"time"
+
+	"manasim/internal/mpi"
+	"manasim/internal/simtime"
+	"manasim/internal/transport"
+)
+
+// collCtxBit separates collective traffic from user point-to-point
+// traffic on the same communicator, so that wildcard receives can never
+// steal internal messages.
+const collCtxBit uint32 = 1 << 31
+
+// Engine implements MPI semantics for one rank against internal object
+// structs. It is the layer all four simulated implementations share.
+type Engine struct {
+	Fab   *transport.Fabric
+	Ep    *transport.Endpoint
+	Clock *simtime.Clock
+	Net   simtime.NetModel
+
+	rank, size int
+
+	// WorldComm and SelfComm are the predefined communicators.
+	WorldComm *Comm
+	SelfComm  *Comm
+	// WorldGroup and EmptyGroup are the predefined groups.
+	WorldGroup *Group
+	EmptyGroup *Group
+
+	// predefined datatypes and operations, indexed by ConstName.
+	dtypes map[mpi.ConstName]*Dtype
+	ops    map[mpi.ConstName]*Op
+
+	finalized bool
+}
+
+// NewEngine attaches rank r to the fabric and builds the predefined
+// objects.
+func NewEngine(fab *transport.Fabric, r int, clock *simtime.Clock, net simtime.NetModel) *Engine {
+	size := fab.Size()
+	worldRanks := make([]int, size)
+	for i := range worldRanks {
+		worldRanks[i] = i
+	}
+	wg := &Group{Ranks: worldRanks, Predefined: true}
+	e := &Engine{
+		Fab:        fab,
+		Ep:         fab.Endpoint(r),
+		Clock:      clock,
+		Net:        net,
+		rank:       r,
+		size:       size,
+		WorldGroup: wg,
+		EmptyGroup: &Group{Predefined: true},
+		WorldComm:  &Comm{Ctx: 1, Group: wg, MyRank: r, Predefined: true},
+		dtypes:     make(map[mpi.ConstName]*Dtype),
+		ops:        make(map[mpi.ConstName]*Op),
+	}
+	e.SelfComm = &Comm{
+		Ctx:        2,
+		Group:      &Group{Ranks: []int{r}, Predefined: true},
+		MyRank:     0,
+		Predefined: true,
+	}
+	e.buildPredefined()
+	return e
+}
+
+// Rank returns the world rank.
+func (e *Engine) Rank() int { return e.rank }
+
+// Size returns the world size.
+func (e *Engine) Size() int { return e.size }
+
+// Finalized reports whether Finalize ran.
+func (e *Engine) Finalized() bool { return e.finalized }
+
+// Finalize marks the engine shut down.
+func (e *Engine) Finalize() { e.finalized = true }
+
+// WTime returns the rank's virtual time.
+func (e *Engine) WTime() time.Duration { return e.Clock.Now() }
+
+func (e *Engine) buildPredefined() {
+	prim := func(name mpi.ConstName, size int) {
+		e.dtypes[name] = &Dtype{
+			SizeB:      size,
+			ExtentB:    size,
+			Combiner:   mpi.CombinerNamed,
+			Name:       name,
+			Predefined: true,
+			Committed:  true,
+			segs:       []seg{{0, size}},
+		}
+	}
+	prim(mpi.ConstByte, 1)
+	prim(mpi.ConstChar, 1)
+	prim(mpi.ConstInt32, 4)
+	prim(mpi.ConstInt64, 8)
+	prim(mpi.ConstUint64, 8)
+	prim(mpi.ConstFloat32, 4)
+	prim(mpi.ConstFloat64, 8)
+
+	for _, name := range []mpi.ConstName{
+		mpi.ConstOpSum, mpi.ConstOpProd, mpi.ConstOpMax, mpi.ConstOpMin,
+		mpi.ConstOpLand, mpi.ConstOpLor, mpi.ConstOpBand, mpi.ConstOpBor,
+	} {
+		e.ops[name] = &Op{Name: name, Commute: true, Predefined: true}
+	}
+}
+
+// PredefDtype returns the predefined datatype object for name, or nil.
+func (e *Engine) PredefDtype(name mpi.ConstName) *Dtype { return e.dtypes[name] }
+
+// PredefOp returns the predefined operation object for name, or nil.
+func (e *Engine) PredefOp(name mpi.ConstName) *Op { return e.ops[name] }
+
+// ---------------------------------------------------------------------
+// Point-to-point.
+
+// worldDest translates a communicator rank to a world rank.
+func worldDest(c *Comm, rank int) (int, error) {
+	if rank == mpi.ProcNull {
+		return mpi.ProcNull, nil
+	}
+	if rank < 0 || rank >= c.Size() {
+		return 0, mpi.Errorf(mpi.ErrRank, "rank %d out of range for communicator of size %d", rank, c.Size())
+	}
+	return c.Group.Ranks[rank], nil
+}
+
+// Send performs a blocking standard-mode (eager) send.
+func (e *Engine) Send(c *Comm, buf []byte, count int, dt *Dtype, dest, tag int) error {
+	if tag < 0 {
+		return mpi.Errorf(mpi.ErrTag, "negative tag %d", tag)
+	}
+	return e.sendRaw(c, c.Ctx, buf, count, dt, dest, tag)
+}
+
+// sendRaw is the common path for user and internal sends; ctx selects
+// point-to-point or collective context.
+func (e *Engine) sendRaw(c *Comm, ctx uint32, buf []byte, count int, dt *Dtype, dest, tag int) error {
+	if dest == mpi.ProcNull {
+		return nil
+	}
+	world, err := worldDest(c, dest)
+	if err != nil {
+		return err
+	}
+	if count < 0 {
+		return mpi.Errorf(mpi.ErrCount, "negative count %d", count)
+	}
+	if need := dt.BufLen(count); len(buf) < need {
+		return mpi.Errorf(mpi.ErrArg, "send buffer %d bytes, need %d", len(buf), need)
+	}
+	payload := dt.Pack(buf, count)
+	e.Clock.Advance(e.Net.Overhead)
+	if err := e.Ep.Send(world, ctx, tag, payload, e.Clock.Now()); err != nil {
+		return mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+	}
+	return nil
+}
+
+// makeMatch builds a transport match for a receive on comm c.
+func makeMatch(c *Comm, ctx uint32, src, tag int) (transport.Match, error) {
+	m := transport.Match{Context: ctx, Src: transport.AnySource, Tag: tag}
+	if src != mpi.AnySource {
+		w, err := worldDest(c, src)
+		if err != nil {
+			return m, err
+		}
+		m.Src = w
+	}
+	if tag == mpi.AnyTag {
+		m.Tag = transport.AnyTag
+	}
+	return m, nil
+}
+
+// finishRecv accounts virtual time for a delivered message and unpacks it.
+func (e *Engine) finishRecv(c *Comm, msg *transport.Message, buf []byte, count int, dt *Dtype) (mpi.Status, error) {
+	arrival := msg.SendVT + e.Net.TransferCost(len(msg.Payload))
+	e.Clock.MergeAtLeast(arrival)
+	e.Clock.Advance(e.Net.Overhead)
+	st := mpi.Status{
+		Source: c.Group.RankOf(msg.Src),
+		Tag:    msg.Tag,
+		Bytes:  len(msg.Payload),
+	}
+	if len(msg.Payload) > count*dt.SizeB {
+		return st, mpi.Errorf(mpi.ErrTruncate, "message of %d bytes truncated to %d-element buffer", len(msg.Payload), count)
+	}
+	dt.Unpack(msg.Payload, buf, count)
+	return st, nil
+}
+
+// Recv performs a blocking receive.
+func (e *Engine) Recv(c *Comm, buf []byte, count int, dt *Dtype, src, tag int) (mpi.Status, error) {
+	if src == mpi.ProcNull {
+		return mpi.Status{Source: mpi.ProcNull, Tag: mpi.AnyTag}, nil
+	}
+	return e.recvRaw(c, c.Ctx, buf, count, dt, src, tag)
+}
+
+func (e *Engine) recvRaw(c *Comm, ctx uint32, buf []byte, count int, dt *Dtype, src, tag int) (mpi.Status, error) {
+	m, err := makeMatch(c, ctx, src, tag)
+	if err != nil {
+		return mpi.Status{}, err
+	}
+	msg, err := e.Ep.Recv(m)
+	if err != nil {
+		return mpi.Status{}, mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+	}
+	return e.finishRecv(c, msg, buf, count, dt)
+}
+
+// Iprobe checks for a matching message without receiving it.
+func (e *Engine) Iprobe(c *Comm, src, tag int) (bool, mpi.Status, error) {
+	m, err := makeMatch(c, c.Ctx, src, tag)
+	if err != nil {
+		return false, mpi.Status{}, err
+	}
+	msg, ok := e.Ep.Probe(m)
+	if !ok {
+		return false, mpi.Status{}, nil
+	}
+	return true, mpi.Status{
+		Source: c.Group.RankOf(msg.Src),
+		Tag:    msg.Tag,
+		Bytes:  len(msg.Payload),
+	}, nil
+}
+
+// Probe blocks until a matching message is available.
+func (e *Engine) Probe(c *Comm, src, tag int) (mpi.Status, error) {
+	m, err := makeMatch(c, c.Ctx, src, tag)
+	if err != nil {
+		return mpi.Status{}, err
+	}
+	if err := e.Ep.WaitMatch(m); err != nil {
+		return mpi.Status{}, mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+	}
+	msg, _ := e.Ep.Probe(m)
+	return mpi.Status{
+		Source: c.Group.RankOf(msg.Src),
+		Tag:    msg.Tag,
+		Bytes:  len(msg.Payload),
+	}, nil
+}
+
+// Isend starts a nonblocking eager send; the returned request is already
+// complete.
+func (e *Engine) Isend(c *Comm, buf []byte, count int, dt *Dtype, dest, tag int) (*Req, error) {
+	if err := e.Send(c, buf, count, dt, dest, tag); err != nil {
+		return nil, err
+	}
+	return &Req{IsSend: true, Done: true}, nil
+}
+
+// Irecv registers a nonblocking receive. The mailbox operation happens at
+// Wait/Test time.
+func (e *Engine) Irecv(c *Comm, buf []byte, count int, dt *Dtype, src, tag int) (*Req, error) {
+	if count < 0 {
+		return nil, mpi.Errorf(mpi.ErrCount, "negative count %d", count)
+	}
+	return &Req{
+		Buf:   buf,
+		Count: count,
+		Dt:    dt,
+		Comm:  c,
+		Src:   src,
+		Tag:   tag,
+	}, nil
+}
+
+// Wait blocks until the request completes.
+func (e *Engine) Wait(r *Req) (mpi.Status, error) {
+	if r.Done {
+		return r.St, nil
+	}
+	st, err := e.Recv(r.Comm, r.Buf, r.Count, r.Dt, r.Src, r.Tag)
+	r.Done = true
+	r.St = st
+	return st, err
+}
+
+// Test polls the request for completion.
+func (e *Engine) Test(r *Req) (bool, mpi.Status, error) {
+	if r.Done {
+		return true, r.St, nil
+	}
+	m, err := makeMatch(r.Comm, r.Comm.Ctx, r.Src, r.Tag)
+	if err != nil {
+		return false, mpi.Status{}, err
+	}
+	msg, ok, err := e.Ep.TryRecv(m)
+	if err != nil {
+		return false, mpi.Status{}, mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+	}
+	if !ok {
+		return false, mpi.Status{}, nil
+	}
+	st, err := e.finishRecv(r.Comm, msg, r.Buf, r.Count, r.Dt)
+	r.Done = true
+	r.St = st
+	return true, st, err
+}
+
+// ---------------------------------------------------------------------
+// Communicator and group management.
+
+// CommDup duplicates c with a fresh context agreed collectively.
+func (e *Engine) CommDup(c *Comm) (*Comm, error) {
+	ctx, err := e.agreeContexts(c, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Comm{Ctx: ctx, Group: c.Group.Clone(), MyRank: c.MyRank}, nil
+}
+
+// CommSplit partitions c by color, ordering each part by (key, rank).
+// A color of mpi.Undefined yields a nil communicator for that caller.
+func (e *Engine) CommSplit(c *Comm, color, key int) (*Comm, error) {
+	p := c.Size()
+	// Allgather (color, key) across the communicator.
+	sendv := mpi.Int64Bytes([]int64{int64(color), int64(key)})
+	recvv := make([]byte, 16*p)
+	if err := e.Allgather(c, sendv, 2, e.dtypes[mpi.ConstInt64], recvv, 2, e.dtypes[mpi.ConstInt64]); err != nil {
+		return nil, err
+	}
+	all := mpi.Int64s(recvv)
+
+	// Distinct colors in ascending order (mpi.Undefined excluded).
+	colors := make([]int, 0, p)
+	seen := make(map[int]bool, p)
+	for r := 0; r < p; r++ {
+		col := int(all[2*r])
+		if col == mpi.Undefined || seen[col] {
+			continue
+		}
+		seen[col] = true
+		colors = append(colors, col)
+	}
+	sort.Ints(colors)
+
+	// One fresh context per color, agreed once.
+	base, err := e.agreeContexts(c, len(colors))
+	if err != nil {
+		return nil, err
+	}
+	if color == mpi.Undefined {
+		return nil, nil
+	}
+
+	// Members of my color, ordered by (key, parent rank).
+	type member struct{ key, parentRank int }
+	var members []member
+	for r := 0; r < p; r++ {
+		if int(all[2*r]) == color {
+			members = append(members, member{int(all[2*r+1]), r})
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].parentRank < members[j].parentRank
+	})
+
+	ranks := make([]int, len(members))
+	myRank := mpi.Undefined
+	for i, m := range members {
+		ranks[i] = c.Group.Ranks[m.parentRank]
+		if m.parentRank == c.MyRank {
+			myRank = i
+		}
+	}
+	colorIdx := indexOf(colors, color)
+	return &Comm{
+		Ctx:    base + uint32(colorIdx),
+		Group:  &Group{Ranks: ranks},
+		MyRank: myRank,
+	}, nil
+}
+
+// CommCreate builds a communicator from a subgroup of c. All members of c
+// must call; callers outside g receive nil.
+func (e *Engine) CommCreate(c *Comm, g *Group) (*Comm, error) {
+	ctx, err := e.agreeContexts(c, 1)
+	if err != nil {
+		return nil, err
+	}
+	my := g.RankOf(c.Group.Ranks[c.MyRank])
+	if my == mpi.Undefined {
+		return nil, nil
+	}
+	return &Comm{Ctx: ctx, Group: g.Clone(), MyRank: my}, nil
+}
+
+// CommFree releases a user communicator.
+func (e *Engine) CommFree(c *Comm) error {
+	if c.Predefined {
+		return mpi.Errorf(mpi.ErrComm, "cannot free predefined communicator")
+	}
+	if c.freed {
+		return mpi.Errorf(mpi.ErrComm, "double free of communicator ctx=%d", c.Ctx)
+	}
+	c.freed = true
+	return nil
+}
+
+// agreeContexts collectively reserves n consecutive context ids: the root
+// draws them from the fabric and broadcasts the base, modeling the
+// context-agreement collective of real implementations.
+func (e *Engine) agreeContexts(c *Comm, n int) (uint32, error) {
+	var base uint32
+	if c.MyRank == 0 {
+		base = e.Fab.AllocContextRange(n)
+	}
+	buf := make([]byte, 4)
+	if c.MyRank == 0 {
+		buf = mpi.Int32Bytes([]int32{int32(base)})
+	}
+	if err := e.Bcast(c, buf, 1, e.dtypes[mpi.ConstInt32], 0); err != nil {
+		return 0, err
+	}
+	return uint32(mpi.Int32s(buf)[0]), nil
+}
+
+// GroupTranslateRanks maps ranks of g1 into g2.
+func (e *Engine) GroupTranslateRanks(g1 *Group, ranks []int, g2 *Group) ([]int, error) {
+	out := make([]int, len(ranks))
+	for i, r := range ranks {
+		if r < 0 || r >= g1.Size() {
+			return nil, mpi.Errorf(mpi.ErrRank, "rank %d out of range for group of size %d", r, g1.Size())
+		}
+		out[i] = g2.RankOf(g1.Ranks[r])
+	}
+	return out, nil
+}
+
+// GroupIncl builds a subgroup from the listed ranks of g.
+func (e *Engine) GroupIncl(g *Group, ranks []int) (*Group, error) {
+	out := &Group{Ranks: make([]int, len(ranks))}
+	for i, r := range ranks {
+		if r < 0 || r >= g.Size() {
+			return nil, mpi.Errorf(mpi.ErrRank, "rank %d out of range for group of size %d", r, g.Size())
+		}
+		out.Ranks[i] = g.Ranks[r]
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Datatypes and operations.
+
+// TypeContiguous builds a contiguous derived datatype.
+func (e *Engine) TypeContiguous(count int, base *Dtype) (*Dtype, error) {
+	if count < 0 {
+		return nil, mpi.Errorf(mpi.ErrCount, "negative count %d", count)
+	}
+	d := &Dtype{
+		SizeB:    count * base.SizeB,
+		ExtentB:  count * base.ExtentB,
+		Combiner: mpi.CombinerContiguous,
+		Ints:     []int{count},
+		Bases:    []*Dtype{base},
+	}
+	for i := 0; i < count; i++ {
+		off := i * base.ExtentB
+		for _, s := range base.segs {
+			d.segs = append(d.segs, seg{off + s.off, s.n})
+		}
+	}
+	d.segs = coalesce(d.segs)
+	return d, nil
+}
+
+// TypeVector builds a strided derived datatype.
+func (e *Engine) TypeVector(count, blocklen, stride int, base *Dtype) (*Dtype, error) {
+	if count < 0 || blocklen < 0 {
+		return nil, mpi.Errorf(mpi.ErrCount, "negative count/blocklen %d/%d", count, blocklen)
+	}
+	d := &Dtype{
+		SizeB:    count * blocklen * base.SizeB,
+		Combiner: mpi.CombinerVector,
+		Ints:     []int{count, blocklen, stride},
+		Bases:    []*Dtype{base},
+	}
+	if count > 0 {
+		d.ExtentB = ((count-1)*stride + blocklen) * base.ExtentB
+	}
+	for b := 0; b < count; b++ {
+		for j := 0; j < blocklen; j++ {
+			off := (b*stride + j) * base.ExtentB
+			for _, s := range base.segs {
+				d.segs = append(d.segs, seg{off + s.off, s.n})
+			}
+		}
+	}
+	d.segs = coalesce(d.segs)
+	return d, nil
+}
+
+// TypeIndexed builds a datatype from block lengths and displacements (in
+// base elements).
+func (e *Engine) TypeIndexed(blocklens, displs []int, base *Dtype) (*Dtype, error) {
+	if len(blocklens) != len(displs) {
+		return nil, mpi.Errorf(mpi.ErrArg, "blocklens (%d) and displs (%d) differ in length", len(blocklens), len(displs))
+	}
+	d := &Dtype{
+		Combiner: mpi.CombinerIndexed,
+		Ints:     append(append([]int{len(blocklens)}, blocklens...), displs...),
+		Bases:    []*Dtype{base},
+	}
+	ext := 0
+	for i, bl := range blocklens {
+		if bl < 0 {
+			return nil, mpi.Errorf(mpi.ErrCount, "negative block length %d", bl)
+		}
+		d.SizeB += bl * base.SizeB
+		for j := 0; j < bl; j++ {
+			off := (displs[i] + j) * base.ExtentB
+			for _, s := range base.segs {
+				d.segs = append(d.segs, seg{off + s.off, s.n})
+			}
+		}
+		if end := (displs[i] + bl) * base.ExtentB; end > ext {
+			ext = end
+		}
+	}
+	d.ExtentB = ext
+	d.segs = coalesce(d.segs)
+	return d, nil
+}
+
+// coalesce merges adjacent segments to speed pack/unpack.
+func coalesce(in []seg) []seg {
+	if len(in) == 0 {
+		return in
+	}
+	out := in[:1]
+	for _, s := range in[1:] {
+		last := &out[len(out)-1]
+		if last.off+last.n == s.off {
+			last.n += s.n
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// OpCreate registers a user reduction operation.
+func (e *Engine) OpCreate(fn mpi.ReduceFunc, commute bool) (*Op, error) {
+	if fn == nil {
+		return nil, mpi.Errorf(mpi.ErrArg, "nil reduction function")
+	}
+	return &Op{Fn: fn, Commute: commute}, nil
+}
+
+// ---------------------------------------------------------------------
+// small helpers.
+
+func indexOf(v []int, x int) int {
+	for i, y := range v {
+		if y == x {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,135 @@
+package mpich
+
+import (
+	"testing"
+	"testing/quick"
+
+	"manasim/internal/mpi"
+)
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(kindU uint8, builtin bool, slabU uint16, slotU uint16) bool {
+		kind := mpi.Kind(kindU%5 + 1)
+		slab := int(slabU) & slabMask
+		slot := int(slotU) & slotMask
+		h := Encode(kind, builtin, slab, slot)
+		k, b, sl, st := Decode(h)
+		return k == kind && b == builtin && sl == slab && st == slot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleIs32Bit(t *testing.T) {
+	h := Encode(mpi.KindDatatype, false, slabMask, slotMask)
+	if uint64(h)>>32 != 0 {
+		t.Fatalf("handle %#x exceeds 32 bits", uint64(h))
+	}
+}
+
+func TestTableInsertLookupRemove(t *testing.T) {
+	tab := newTable()
+	type obj struct{ v int }
+	o1, o2 := &obj{1}, &obj{2}
+	h1 := tab.Insert(mpi.KindComm, o1)
+	h2 := tab.Insert(mpi.KindComm, o2)
+	if h1 == h2 {
+		t.Fatal("duplicate handles")
+	}
+	got, err := tab.Lookup(mpi.KindComm, h1)
+	if err != nil || got != any(o1) {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	// Wrong kind fails.
+	if _, err := tab.Lookup(mpi.KindGroup, h1); err == nil {
+		t.Fatal("wrong-kind lookup succeeded")
+	}
+	if err := tab.Remove(h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Lookup(mpi.KindComm, h1); err == nil {
+		t.Fatal("lookup after remove succeeded")
+	}
+	if err := tab.Remove(h1); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	// Freed slot is reused.
+	h3 := tab.Insert(mpi.KindGroup, &obj{3})
+	_, _, sl1, st1 := Decode(h1)
+	_, _, sl3, st3 := Decode(h3)
+	if sl1 != sl3 || st1 != st3 {
+		t.Fatalf("slot not reused: (%d,%d) vs (%d,%d)", sl1, st1, sl3, st3)
+	}
+}
+
+func TestSlabOverflowAllocatesNewSlab(t *testing.T) {
+	tab := newTable()
+	seen := map[mpi.Handle]bool{}
+	for i := 0; i < slabEntries+10; i++ {
+		h := tab.Insert(mpi.KindRequest, i)
+		if seen[h] {
+			t.Fatalf("duplicate handle %#x at %d", uint64(h), i)
+		}
+		seen[h] = true
+	}
+	// An object beyond the first slab decodes to slab 1.
+	var last mpi.Handle
+	for h := range seen {
+		if _, _, sl, _ := Decode(h); sl == 1 {
+			last = h
+		}
+	}
+	if last == 0 {
+		t.Fatal("no handle landed in slab 1")
+	}
+}
+
+func TestConstHandlesDeterministic(t *testing.T) {
+	a, b := newTable(), newTable()
+	for name := mpi.ConstName(0); name < mpi.NumConstNames; name++ {
+		if name.Kind() == mpi.KindNone {
+			continue
+		}
+		ha, err := a.ConstHandle(name, func() any { return name })
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := b.ConstHandle(name, func() any { return name })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ha != hb {
+			t.Fatalf("%v: handle differs across tables: %#x vs %#x", name, uint64(ha), uint64(hb))
+		}
+		if _, builtin, _, _ := Decode(ha); !builtin {
+			t.Fatalf("%v: builtin flag missing", name)
+		}
+	}
+}
+
+func TestConstHandlesDistinct(t *testing.T) {
+	tab := newTable()
+	seen := map[mpi.Handle]mpi.ConstName{}
+	for name := mpi.ConstName(0); name < mpi.NumConstNames; name++ {
+		if name.Kind() == mpi.KindNone {
+			continue
+		}
+		h, err := tab.ConstHandle(name, func() any { return name })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("%v and %v share handle %#x", prev, name, uint64(h))
+		}
+		seen[h] = name
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	h := Encode(mpi.KindComm, false, 3, 17)
+	s := String(h)
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

@@ -1,0 +1,347 @@
+// Package transport is the in-process interconnect of the MANA simulator.
+//
+// It plays the role that TCP, InfiniBand, or HPE Slingshot plays under a
+// real MPI library: an unreliable-ordering-free byte mover is simulated as
+// a set of per-rank mailboxes with MPI-compatible matching semantics
+// (FIFO per (source, context, tag) triple, wildcard source/tag receives).
+//
+// Two properties matter to MANA and are modeled explicitly:
+//
+//  1. Messages can be *in flight* at checkpoint time: an eager send
+//     deposits the message in the destination mailbox, where it stays
+//     until the receiver consumes it. MANA's drain protocol discovers
+//     such messages with Iprobe and drains them with Recv — the same
+//     code path a real network forces.
+//
+//  2. Handles into the network layer are meaningless after restart: a
+//     fresh Fabric models the fresh lower half, and nothing from the old
+//     Fabric survives.
+//
+// The transport moves real bytes. Latency and bandwidth are accounted in
+// virtual time by the MPI engine above, using the sender timestamp each
+// Message carries.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Wildcards for matching. They deliberately mirror MPI_ANY_SOURCE and
+// MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrClosed is returned by operations on a fabric that has been shut down.
+var ErrClosed = errors.New("transport: fabric closed")
+
+// Message is one point-to-point message in flight or delivered.
+type Message struct {
+	// Src and Dst are world ranks.
+	Src, Dst int
+	// Context is the communicator context id (lower-half concept): a
+	// message only matches receives posted on the same context.
+	Context uint32
+	// Tag is the user tag.
+	Tag int
+	// Payload is the message body. The transport owns this copy.
+	Payload []byte
+	// SendVT is the sender's virtual time at send, used by the receiver
+	// to account transfer cost.
+	SendVT time.Duration
+	// Seq is a fabric-global sequence number fixing arrival order.
+	Seq uint64
+}
+
+// Match is a receive-side match specification.
+type Match struct {
+	Context uint32
+	Src     int // world rank or AnySource
+	Tag     int // tag or AnyTag
+}
+
+// Matches reports whether m selects msg.
+func (m Match) Matches(msg *Message) bool {
+	if msg.Context != m.Context {
+		return false
+	}
+	if m.Src != AnySource && msg.Src != m.Src {
+		return false
+	}
+	if m.Tag != AnyTag && msg.Tag != m.Tag {
+		return false
+	}
+	return true
+}
+
+// Fabric is one interconnect instance serving one simulated job. All
+// ranks of the job share the fabric; a restart builds a brand-new one.
+type Fabric struct {
+	n       int
+	session uint64 // distinguishes fabric instances (lower-half sessions)
+	seq     atomic.Uint64
+	nextCtx atomic.Uint32
+	boxes   []*mailbox
+	closed  atomic.Bool
+}
+
+var sessionCounter atomic.Uint64
+
+// NewFabric creates an interconnect for n ranks. Context ids below
+// firstCtx are reserved for predefined communicators.
+func NewFabric(n int) *Fabric {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: invalid rank count %d", n))
+	}
+	f := &Fabric{
+		n:       n,
+		session: sessionCounter.Add(1),
+		boxes:   make([]*mailbox, n),
+	}
+	f.nextCtx.Store(16) // contexts 0..15 reserved for predefined comms
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	return f
+}
+
+// Size returns the number of ranks served by the fabric.
+func (f *Fabric) Size() int { return f.n }
+
+// Session returns a number unique to this fabric instance. MPI
+// implementations that hand out pointer-valued handles mix it into their
+// simulated addresses so that addresses differ across restarts, exactly
+// as a re-executed lower half would.
+func (f *Fabric) Session() uint64 { return f.session }
+
+// AllocContext returns a fresh communicator context id, unique within
+// the fabric. Real implementations agree on context ids with a collective
+// over the parent communicator; the fabric-global counter models the
+// result of that agreement (all members obtain the same id because the
+// allocation is performed once by the collective algorithm, not once per
+// member).
+func (f *Fabric) AllocContext() uint32 { return f.nextCtx.Add(1) }
+
+// AllocContextRange reserves n consecutive context ids and returns the
+// first. Communicator split uses one id per color.
+func (f *Fabric) AllocContextRange(n int) uint32 {
+	if n < 1 {
+		n = 1
+	}
+	end := f.nextCtx.Add(uint32(n))
+	return end - uint32(n) + 1
+}
+
+// Endpoint returns rank r's attachment point.
+func (f *Fabric) Endpoint(r int) *Endpoint {
+	if r < 0 || r >= f.n {
+		panic(fmt.Sprintf("transport: endpoint rank %d out of range [0,%d)", r, f.n))
+	}
+	return &Endpoint{fabric: f, rank: r}
+}
+
+// Close shuts the fabric down, waking all blocked receivers with
+// ErrClosed. Close is idempotent.
+func (f *Fabric) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	for _, b := range f.boxes {
+		b.close()
+	}
+}
+
+// InFlight returns the total number of undelivered messages across all
+// mailboxes. Used by tests and by diagnostics; MANA itself counts
+// messages in the upper half as a real network would force it to.
+func (f *Fabric) InFlight() int {
+	total := 0
+	for _, b := range f.boxes {
+		total += b.len()
+	}
+	return total
+}
+
+// Endpoint is one rank's view of the fabric.
+type Endpoint struct {
+	fabric *Fabric
+	rank   int
+
+	// Stats are transport-level counters, readable by tests.
+	sent atomic.Uint64
+	recv atomic.Uint64
+}
+
+// Rank returns the endpoint's world rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Sent returns the number of messages sent through this endpoint.
+func (e *Endpoint) Sent() uint64 { return e.sent.Load() }
+
+// Received returns the number of messages received through this endpoint.
+func (e *Endpoint) Received() uint64 { return e.recv.Load() }
+
+// Send deposits a message in dst's mailbox (eager protocol). The payload
+// is copied; the caller may reuse buf immediately. Send never blocks.
+func (e *Endpoint) Send(dst int, ctx uint32, tag int, buf []byte, sendVT time.Duration) error {
+	if e.fabric.closed.Load() {
+		return ErrClosed
+	}
+	if dst < 0 || dst >= e.fabric.n {
+		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", dst, e.fabric.n)
+	}
+	msg := &Message{
+		Src:     e.rank,
+		Dst:     dst,
+		Context: ctx,
+		Tag:     tag,
+		Payload: append([]byte(nil), buf...),
+		SendVT:  sendVT,
+		Seq:     e.fabric.seq.Add(1),
+	}
+	e.sent.Add(1)
+	return e.fabric.boxes[dst].put(msg)
+}
+
+// Recv blocks until a message matching m arrives, removes it, and
+// returns it. It returns ErrClosed if the fabric shuts down first.
+func (e *Endpoint) Recv(m Match) (*Message, error) {
+	msg, err := e.fabric.boxes[e.rank].take(m, true)
+	if err != nil {
+		return nil, err
+	}
+	e.recv.Add(1)
+	return msg, nil
+}
+
+// TryRecv removes and returns a matching message if one is already
+// present; ok reports whether a message was found. It never blocks.
+func (e *Endpoint) TryRecv(m Match) (msg *Message, ok bool, err error) {
+	msg, err = e.fabric.boxes[e.rank].take(m, false)
+	if err != nil {
+		if errors.Is(err, errNoMatch) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	e.recv.Add(1)
+	return msg, true, nil
+}
+
+// Probe reports whether a message matching m is waiting, without
+// removing it. The returned message must not be mutated.
+func (e *Endpoint) Probe(m Match) (msg *Message, ok bool) {
+	return e.fabric.boxes[e.rank].peek(m)
+}
+
+// WaitMatch blocks until a message matching m is present (without
+// removing it) or the fabric closes. It lets polling loops avoid
+// busy-waiting while preserving probe-then-receive semantics.
+func (e *Endpoint) WaitMatch(m Match) error {
+	return e.fabric.boxes[e.rank].waitMatch(m)
+}
+
+// Pending returns the number of undelivered messages waiting in this
+// endpoint's mailbox.
+func (e *Endpoint) Pending() int { return e.fabric.boxes[e.rank].len() }
+
+// errNoMatch is an internal sentinel for non-blocking take.
+var errNoMatch = errors.New("transport: no matching message")
+
+// mailbox is an MPI-ordered message queue. Messages are kept in arrival
+// order; matching scans from the front so that non-overtaking semantics
+// hold per (source, context, tag).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m *Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	b.queue = append(b.queue, m)
+	b.cond.Broadcast()
+	return nil
+}
+
+func (b *mailbox) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}
+
+// take removes the first matching message. If block is true it waits for
+// one; otherwise it returns errNoMatch immediately.
+func (b *mailbox) take(m Match, block bool) (*Message, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return nil, ErrClosed
+		}
+		if i := b.findLocked(m); i >= 0 {
+			msg := b.queue[i]
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return msg, nil
+		}
+		if !block {
+			return nil, errNoMatch
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) peek(m Match) (*Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i := b.findLocked(m); i >= 0 {
+		return b.queue[i], true
+	}
+	return nil, false
+}
+
+func (b *mailbox) waitMatch(m Match) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.closed {
+			return ErrClosed
+		}
+		if b.findLocked(m) >= 0 {
+			return nil
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) findLocked(m Match) int {
+	for i, msg := range b.queue {
+		if m.Matches(msg) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.cond.Broadcast()
+}

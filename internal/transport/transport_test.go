@@ -1,0 +1,300 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	a, b := f.Endpoint(0), f.Endpoint(1)
+
+	if err := a.Send(1, 1, 7, []byte("hello"), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.InFlight(); got != 1 {
+		t.Fatalf("in flight %d", got)
+	}
+	msg, err := b.Recv(Match{Context: 1, Src: 0, Tag: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Payload) != "hello" || msg.Src != 0 || msg.Tag != 7 || msg.SendVT != time.Millisecond {
+		t.Fatalf("bad message %+v", msg)
+	}
+	if f.InFlight() != 0 {
+		t.Fatalf("in flight %d after recv", f.InFlight())
+	}
+}
+
+func TestPayloadCopiedOnSend(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	e := f.Endpoint(0)
+	buf := []byte{1, 2, 3}
+	if err := e.Send(0, 1, 0, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // sender reuses the buffer immediately
+	msg, err := e.Recv(Match{Context: 1, Src: AnySource, Tag: AnyTag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Payload[0] != 1 {
+		t.Fatal("transport aliased the sender's buffer")
+	}
+}
+
+func TestMatchingWildcardsAndContext(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	a, b := f.Endpoint(0), f.Endpoint(1)
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(a.Send(1, 10, 1, []byte{1}, 0))
+	must(a.Send(1, 20, 2, []byte{2}, 0))
+	must(a.Send(1, 10, 3, []byte{3}, 0))
+
+	// Context filter: only ctx-20 messages match.
+	msg, ok, err := b.TryRecv(Match{Context: 20, Src: AnySource, Tag: AnyTag})
+	must(err)
+	if !ok || msg.Payload[0] != 2 {
+		t.Fatalf("ctx filter failed: %+v ok=%v", msg, ok)
+	}
+	// Tag filter skips the tag-1 message.
+	msg, ok, err = b.TryRecv(Match{Context: 10, Src: AnySource, Tag: 3})
+	must(err)
+	if !ok || msg.Payload[0] != 3 {
+		t.Fatalf("tag filter failed: %+v ok=%v", msg, ok)
+	}
+	// Remaining message.
+	msg, ok, err = b.TryRecv(Match{Context: 10, Src: 0, Tag: AnyTag})
+	must(err)
+	if !ok || msg.Payload[0] != 1 {
+		t.Fatalf("last message: %+v ok=%v", msg, ok)
+	}
+	// Mailbox now empty.
+	_, ok, err = b.TryRecv(Match{Context: 10, Src: AnySource, Tag: AnyTag})
+	must(err)
+	if ok {
+		t.Fatal("unexpected message")
+	}
+}
+
+func TestFIFOPerSourceTag(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	for i := 0; i < 100; i++ {
+		if err := a.Send(1, 1, 5, []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		msg, err := b.Recv(Match{Context: 1, Src: 0, Tag: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != byte(i) {
+			t.Fatalf("position %d got %d", i, msg.Payload[0])
+		}
+	}
+}
+
+func TestProbeDoesNotConsume(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	e := f.Endpoint(0)
+	if err := e.Send(0, 1, 3, []byte{7}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		msg, ok := e.Probe(Match{Context: 1, Src: AnySource, Tag: AnyTag})
+		if !ok || msg.Payload[0] != 7 {
+			t.Fatalf("probe %d failed", i)
+		}
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+}
+
+func TestBlockingRecvWakesOnSend(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	b := f.Endpoint(1)
+	done := make(chan *Message, 1)
+	go func() {
+		msg, err := b.Recv(Match{Context: 9, Src: 0, Tag: 1})
+		if err != nil {
+			done <- nil
+			return
+		}
+		done <- msg
+	}()
+	time.Sleep(5 * time.Millisecond) // let the receiver block
+	if err := f.Endpoint(0).Send(1, 9, 1, []byte{42}, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-done:
+		if msg == nil || msg.Payload[0] != 42 {
+			t.Fatalf("bad wakeup %+v", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver never woke")
+	}
+}
+
+func TestCloseWakesBlockedReceivers(t *testing.T) {
+	f := NewFabric(1)
+	e := f.Endpoint(0)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Recv(Match{Context: 1, Src: AnySource, Tag: AnyTag})
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	f.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("got %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("close did not wake receiver")
+	}
+	// Idempotent close and post-close send.
+	f.Close()
+	if err := e.Send(0, 1, 0, nil, 0); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v", err)
+	}
+}
+
+func TestWaitMatch(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	b := f.Endpoint(1)
+	done := make(chan error, 1)
+	go func() {
+		done <- b.WaitMatch(Match{Context: 1, Src: 0, Tag: 2})
+	}()
+	time.Sleep(2 * time.Millisecond)
+	// A non-matching message must not wake it for long: send wrong tag
+	// first, then the right one.
+	if err := f.Endpoint(0).Send(1, 1, 1, []byte{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Endpoint(0).Send(1, 1, 2, []byte{1}, 0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitMatch never returned")
+	}
+	if b.Pending() != 2 {
+		t.Fatalf("WaitMatch consumed messages: pending=%d", b.Pending())
+	}
+}
+
+func TestSessionsDistinct(t *testing.T) {
+	a, b := NewFabric(1), NewFabric(1)
+	defer a.Close()
+	defer b.Close()
+	if a.Session() == b.Session() {
+		t.Fatal("fabric sessions must be unique")
+	}
+}
+
+func TestContextAllocation(t *testing.T) {
+	f := NewFabric(1)
+	defer f.Close()
+	c1 := f.AllocContext()
+	c2 := f.AllocContext()
+	if c1 == c2 || c1 < 16 {
+		t.Fatalf("contexts %d %d", c1, c2)
+	}
+	base := f.AllocContextRange(5)
+	next := f.AllocContext()
+	if next < base+5 {
+		t.Fatalf("range not reserved: base=%d next=%d", base, next)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	const senders, each = 8, 50
+	f := NewFabric(senders + 1)
+	defer f.Close()
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e := f.Endpoint(s)
+			for i := 0; i < each; i++ {
+				if err := e.Send(senders, 1, s, []byte{byte(i)}, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Per-sender FIFO must hold even under concurrency.
+	dst := f.Endpoint(senders)
+	next := make([]byte, senders)
+	for i := 0; i < senders*each; i++ {
+		msg, err := dst.Recv(Match{Context: 1, Src: AnySource, Tag: AnyTag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != next[msg.Src] {
+			t.Fatalf("sender %d: got %d want %d", msg.Src, msg.Payload[0], next[msg.Src])
+		}
+		next[msg.Src]++
+	}
+}
+
+func TestMatchProperty(t *testing.T) {
+	// Property: a fully wildcarded match accepts any message with its
+	// context, and a fully specified match accepts exactly its triple.
+	f := func(ctx uint32, src uint8, tag uint8) bool {
+		msg := &Message{Src: int(src), Context: ctx, Tag: int(tag)}
+		wild := Match{Context: ctx, Src: AnySource, Tag: AnyTag}
+		exact := Match{Context: ctx, Src: int(src), Tag: int(tag)}
+		wrongSrc := Match{Context: ctx, Src: int(src) + 1, Tag: int(tag)}
+		wrongCtx := Match{Context: ctx + 1, Src: AnySource, Tag: AnyTag}
+		return wild.Matches(msg) && exact.Matches(msg) &&
+			!wrongSrc.Matches(msg) && !wrongCtx.Matches(msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndpointRangeChecks(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	if err := f.Endpoint(0).Send(5, 1, 0, nil, 0); err == nil {
+		t.Fatal("send to out-of-range rank succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Endpoint(9) did not panic")
+		}
+	}()
+	f.Endpoint(9)
+}
