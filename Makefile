@@ -1,0 +1,58 @@
+#!/usr/bin/make -f
+
+GO ?= go
+
+########################################
+### Build / verify
+
+.PHONY: build
+build:
+	@echo "Building all packages..."
+	@$(GO) build ./...
+
+.PHONY: test
+test:
+	@echo "Running tests..."
+	@$(GO) test ./...
+
+.PHONY: vet
+vet:
+	@echo "Running go vet..."
+	@$(GO) vet ./...
+
+.PHONY: race
+race:
+	@echo "Running tests with the race detector..."
+	@$(GO) test -race ./...
+
+.PHONY: ci
+ci: build vet test
+
+########################################
+### Benchmarks (paper evaluation + ablations)
+
+.PHONY: bench
+bench:
+	@echo "Running all benchmarks once..."
+	@$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+.PHONY: bench-drain
+bench-drain:
+	@echo "Running checkpoint drain benchmarks (twophase vs toposort)..."
+	@$(GO) test -run '^$$' -bench BenchmarkCheckpointDrain -benchtime 3x .
+
+.PHONY: bench-figures
+bench-figures:
+	@echo "Regenerating the paper figures via benchmarks..."
+	@$(GO) test -run '^$$' -bench 'BenchmarkFig|BenchmarkTable' -benchtime 1x -v .
+
+########################################
+### Experiments
+
+.PHONY: experiments
+experiments:
+	@$(GO) run ./cmd/manasim experiment -name all -fast 2
+
+.PHONY: experiment-drain
+experiment-drain:
+	@$(GO) run ./cmd/manasim experiment -name drain

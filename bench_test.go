@@ -8,12 +8,15 @@
 package manasim
 
 import (
+	"fmt"
 	"io"
 	"testing"
 	"time"
 
 	"manasim/internal/app"
 	"manasim/internal/apps"
+	"manasim/internal/ckpt"
+	"manasim/internal/ckptimg"
 	mana "manasim/internal/core"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
@@ -371,6 +374,60 @@ func BenchmarkDrainProtocol(b *testing.B) {
 		}
 		if len(images) != 8 {
 			b.Fatal("missing images")
+		}
+	}
+}
+
+// BenchmarkCheckpointDrain compares the registered drain strategies on
+// the checkpoint hot path across rank counts, so future PRs have a
+// perf trajectory for the subsystem. Each iteration checkpoints a
+// pipelined LAMMPS job mid-run with in-flight halo messages and reports
+// the checkpoint-time virtual cost.
+func BenchmarkCheckpointDrain(b *testing.B) {
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := apps.ByName("lammps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range ckpt.DrainNames() {
+		for _, ranks := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", strat, ranks), func(b *testing.B) {
+				in := spec.DefaultInput(apps.SiteDiscovery)
+				in.Ranks = ranks
+				in.SimSteps = 8
+				in.PollsPerStep = 4
+				cfg := mana.Config{
+					ImplName: "mpich", Factory: factory,
+					DrainStrategy: strat, ExitAtCheckpoint: true,
+				}
+				var totalVT time.Duration
+				var drained int
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, images, err := mana.Run(cfg, ranks, spec.New(in), 4)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(images) != ranks {
+						b.Fatal("missing images")
+					}
+					totalVT += st.VT
+					if i == 0 {
+						for _, data := range images {
+							img, err := ckptimg.Decode(data)
+							if err != nil {
+								b.Fatal(err)
+							}
+							drained += len(img.Drained)
+						}
+					}
+				}
+				b.ReportMetric(totalVT.Seconds()/float64(b.N)*1e3, "vt-ms/run")
+				b.ReportMetric(float64(drained), "drained-msgs")
+			})
 		}
 	}
 }

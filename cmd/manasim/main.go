@@ -17,12 +17,16 @@ import (
 	"time"
 
 	"manasim/internal/apps"
+	ckptsub "manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
 	mana "manasim/internal/core"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
 	"manasim/internal/mpi"
 	"manasim/internal/simtime"
+
+	// Register the built-in drain strategies for --drain.
+	_ "manasim/internal/ckpt/drain"
 )
 
 func main() {
@@ -70,10 +74,12 @@ run flags:
   -restart-impl  after -ckpt, restart under this implementation
                  (requires -uniform at checkpoint time)
   -uniform use 64-bit MANA handle embedding (cross-impl restart)
+  -drain   drain strategy at checkpoint time (twophase, toposort)
+  -compress gzip the application state in checkpoint images
   -site    discovery (default) or perlmutter
 
 experiment flags:
-  -name    fig2, fig3, fig4, table1, table2, table3, cs, or all
+  -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, or all
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
 `)
@@ -110,6 +116,8 @@ func cmdRun(args []string) error {
 	ckpt := fs.Int("ckpt", -1, "checkpoint at this boundary and stop")
 	restartImpl := fs.String("restart-impl", "", "restart under this implementation")
 	uniform := fs.Bool("uniform", false, "64-bit MANA handle embedding")
+	drainName := fs.String("drain", ckptsub.DefaultDrain, "drain strategy (twophase, toposort)")
+	compress := fs.Bool("compress", false, "gzip checkpoint image app state")
 	siteName := fs.String("site", "discovery", "site profile")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,6 +150,8 @@ func cmdRun(args []string) error {
 		Factory:        factory,
 		Host:           host,
 		UniformHandles: *uniform,
+		DrainStrategy:  *drainName,
+		CompressImages: *compress,
 	}
 	if *legacy {
 		cfg.Design = mana.DesignLegacy
@@ -191,7 +201,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host}
+	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName}
 	rst, err := mana.Restart(rcfg, images, spec.New(in))
 	if err != nil {
 		return err
@@ -261,13 +271,19 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteCS(os.Stdout, rows)
+		case "drain":
+			rows, err := harness.DrainStrategies(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteDrain(os.Stdout, rows)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
 		return nil
 	}
 	if *name == "all" {
-		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3"} {
+		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain"} {
 			if err := run(n); err != nil {
 				return err
 			}

@@ -1,0 +1,3 @@
+module manasim
+
+go 1.24

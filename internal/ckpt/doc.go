@@ -1,0 +1,35 @@
+// Package ckpt is the checkpoint subsystem of the MANA reproduction:
+// the coordinator that drives coordinated checkpoints across the ranks
+// of a job, and the interfaces a drain strategy implements to pull
+// in-flight point-to-point messages off the network before the cut.
+//
+// The package deliberately contains no runtime code. internal/core
+// depends only on the types defined here; concrete drain strategies
+// live in internal/ckpt/drain and register themselves through
+// RegisterDrain from an init function, so the dependency graph is
+//
+//	core ──▶ ckpt ◀── ckpt/drain
+//	              ▲
+//	cmd/harness/impls ──(blank import of ckpt/drain)──┘
+//
+// A DrainStrategy sees one rank's runtime through the DrainEnv
+// interface: the per-peer send/receive counters, the live
+// communicators, and a handful of lower-half primitives (counter
+// exchange, probe, pull, control messages over MANA's internal
+// communicator). Strategies are selected by name via Config.
+// DrainStrategy or the manasim --drain flag:
+//
+//   - "twophase" — the paper's two-phase protocol (SC'23, Section 5):
+//     an MPI_Alltoall of cumulative send counters followed by
+//     Iprobe+Recv until every expected message has been drained.
+//   - "toposort" — the topological-sort approach of arXiv:2408.02218:
+//     no global collective; ranks announce counters point-to-point and
+//     drain in send-dependency order, so a rank can reach its cut
+//     without waiting for job-wide agreement traffic.
+//
+// The Coordinator plays the role of the DMTCP coordinator in real
+// MANA: an entity outside the ranks that requests checkpoints,
+// arbitrates the checkpoint boundary (the agreement protocol of
+// NextBoundary), and collects one image per rank per generation,
+// rejecting double delivery and incomplete sets with typed errors.
+package ckpt

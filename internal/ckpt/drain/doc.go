@@ -1,0 +1,35 @@
+// Package drain holds the concrete in-flight message drain strategies
+// of the checkpoint subsystem. Each strategy implements
+// ckpt.DrainStrategy and registers itself under a name from an init
+// function; consumers select one via Config.DrainStrategy or the
+// manasim --drain flag, and wire the package in with a blank import:
+//
+//	import _ "manasim/internal/ckpt/drain"
+//
+// Two strategies are provided:
+//
+//   - TwoPhase ("twophase") implements the drain protocol of the source
+//     paper, "Implementation-Oblivious Transparent Checkpoint-Restart
+//     for MPI" (SC'23), Section 5: every rank joins an MPI_Alltoall of
+//     cumulative per-peer send counters (a de-facto barrier that proves
+//     all application sending has stopped), then drains with
+//     MPI_Iprobe + MPI_Recv until its receive counters match every
+//     peer's send counters.
+//
+//   - TopoSort ("toposort") implements the approach of "Enabling
+//     Practical Transparent Checkpointing for MPI: A Topological Sort
+//     Approach" (arXiv:2408.02218): no global collective is issued.
+//     Each rank announces its send counters point-to-point on the
+//     internal communicator as it reaches its cut, builds the
+//     send-dependency graph incrementally from the announcements it
+//     receives, and drains announced peers in topological order of
+//     that graph while later announcements are still in flight. The
+//     counter agreement is pairwise rather than collective: every rank
+//     still needs each peer's row to prove its cut complete, but no
+//     rank blocks inside an MPI collective while another is late.
+//
+// Both strategies leave the rank in the same post-condition — receive
+// counters equal to every peer's send counters, all in-flight payloads
+// buffered — so images taken under either strategy restore
+// identically.
+package drain

@@ -1,0 +1,90 @@
+package drain
+
+import (
+	"reflect"
+	"testing"
+
+	"manasim/internal/ckpt"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := ckpt.DrainNames()
+	want := []string{"toposort", "twophase"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("registered %v, want %v", names, want)
+	}
+	for _, n := range names {
+		s, err := ckpt.NewDrain(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != n {
+			t.Fatalf("strategy %q reports name %q", n, s.Name())
+		}
+	}
+	// The empty name resolves to the default two-phase protocol.
+	s, err := ckpt.NewDrain("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != ckpt.DefaultDrain {
+		t.Fatalf("default strategy %q", s.Name())
+	}
+}
+
+func TestOrderOfAcyclicGraph(t *testing.T) {
+	// 2 -> 0 -> 1; 3 isolated. Senders precede the ranks that depend on
+	// their traffic, ties at the smallest rank.
+	matrix := [][]int64{
+		0: {0, 5, 0, 0},
+		1: {0, 0, 0, 0},
+		2: {7, 0, 0, 0},
+		3: {0, 0, 0, 0},
+	}
+	got := orderOf(matrix)
+	want := []int{2, 0, 1, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+}
+
+func TestOrderOfRingCycleIsDeterministic(t *testing.T) {
+	// A 4-rank ring: one big cycle, broken at the smallest rank, then
+	// unwound in send order.
+	matrix := make([][]int64, 4)
+	for p := range matrix {
+		row := make([]int64, 4)
+		row[(p+1)%4] = 1
+		matrix[p] = row
+	}
+	got := orderOf(matrix)
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+}
+
+func TestOrderOfPartialMatrix(t *testing.T) {
+	// Only rank 1's row is known; the order must still cover all ranks
+	// exactly once.
+	matrix := [][]int64{nil, {3, 0, 0}, nil}
+	got := orderOf(matrix)
+	seen := make(map[int]bool)
+	for _, r := range got {
+		if seen[r] {
+			t.Fatalf("rank %d twice in %v", r, got)
+		}
+		seen[r] = true
+	}
+	if len(got) != 3 {
+		t.Fatalf("order %v", got)
+	}
+	// 1 sent to 0, so 1 precedes 0.
+	pos := map[int]int{}
+	for i, r := range got {
+		pos[r] = i
+	}
+	if pos[1] > pos[0] {
+		t.Fatalf("sender 1 ordered after dependent 0: %v", got)
+	}
+}

@@ -1,0 +1,227 @@
+package drain
+
+import (
+	"fmt"
+	"runtime"
+
+	"manasim/internal/ckpt"
+	"manasim/internal/mpi"
+)
+
+func init() {
+	ckpt.RegisterDrain("toposort", func() ckpt.DrainStrategy { return &TopoSort{} })
+}
+
+// TopoSort drains without issuing any global collective, following
+// arXiv:2408.02218 ("Enabling Practical Transparent Checkpointing for
+// MPI: A Topological Sort Approach"). Where the two-phase protocol
+// synchronizes all ranks in an MPI_Alltoall before anyone drains, here
+// each rank announces its cumulative send counters point-to-point on
+// the internal communicator the moment it reaches its cut, assembles
+// the send-dependency matrix from the announcements it receives, and
+// drains announced predecessors in topological order of that graph —
+// messages are pulled incrementally as rows arrive instead of after a
+// collective barrier. A rank still needs every peer's row before it
+// can prove its cut complete (without rank p's counters it cannot know
+// whether p sent to it), but that agreement is pairwise and
+// non-collective: no rank blocks inside an MPI collective while
+// another is late.
+type TopoSort struct {
+	order []int
+}
+
+// Name implements ckpt.DrainStrategy.
+func (*TopoSort) Name() string { return "toposort" }
+
+// Order reports the send-dependency checkpoint order computed during
+// the last Drain (world ranks, dependency-first). Every rank computes
+// the same order from the same counter matrix.
+func (s *TopoSort) Order() []int { return s.order }
+
+// Drain implements ckpt.DrainStrategy.
+func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
+	n, me := env.Size(), env.Rank()
+	sent := env.SentTo()
+	mine := make([]int64, n)
+	for p, v := range sent {
+		mine[p] = int64(v)
+	}
+	if n == 1 {
+		s.order = []int{0}
+		return nil
+	}
+
+	// Snapshot receive counters before any Pull mutates them.
+	recvBase := append([]uint64(nil), env.RecvFrom()...)
+
+	// Announce this rank's counters to every peer. The announcement is
+	// deposited after the rank's last pre-cut application send, so a
+	// peer holding our row knows our traffic toward it is complete and
+	// already probeable (deposit-on-send transport).
+	for p := 0; p < n; p++ {
+		if p == me {
+			continue
+		}
+		if err := env.CtlSend(p, ckpt.TagDrainCounters, mine); err != nil {
+			return fmt.Errorf("drain/toposort: announcing counters to rank %d: %w", p, err)
+		}
+	}
+
+	comms, err := env.Comms()
+	if err != nil {
+		return err
+	}
+
+	matrix := make([][]int64, n)
+	matrix[me] = mine
+	expect := make([]int64, n)
+	pulled := make([]int64, n)
+	have, outstanding := 1, int64(0)
+
+	// Self traffic needs no announcement: this rank's own counters are
+	// its own row.
+	expect[me] = mine[me] - int64(recvBase[me])
+	if expect[me] < 0 {
+		return fmt.Errorf("drain/toposort: self-send counter underflow: sent %d, received %d", mine[me], recvBase[me])
+	}
+	outstanding += expect[me]
+
+	for have < n || outstanding > 0 {
+		progressed := false
+
+		// Absorb whatever counter announcements have arrived.
+		for {
+			ok, src, err := env.CtlIprobe(mpi.AnySource, ckpt.TagDrainCounters)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			row, err := env.CtlRecv(src, ckpt.TagDrainCounters, n)
+			if err != nil {
+				return err
+			}
+			if matrix[src] != nil {
+				return fmt.Errorf("drain/toposort: duplicate counter announcement from rank %d", src)
+			}
+			matrix[src] = row
+			expect[src] = row[me] - int64(recvBase[src])
+			if expect[src] < 0 {
+				return fmt.Errorf("drain/toposort: counter underflow from rank %d: sent %d, received %d", src, row[me], recvBase[src])
+			}
+			outstanding += expect[src] - pulled[src]
+			have++
+			progressed = true
+		}
+
+		// Drain announced predecessors in dependency order. Their
+		// pre-cut messages were deposited before the announcement, so
+		// every expected message is already probeable.
+		for _, w := range orderOf(matrix) {
+			if matrix[w] == nil {
+				continue
+			}
+			for pulled[w] < expect[w] {
+				if err := s.pullFrom(env, comms, w); err != nil {
+					return err
+				}
+				pulled[w]++
+				outstanding--
+				progressed = true
+			}
+		}
+
+		if !progressed {
+			// Waiting on peers that have not reached their cut yet;
+			// yield so their goroutines can run.
+			runtime.Gosched()
+		}
+	}
+	s.order = orderOf(matrix)
+	return nil
+}
+
+// pullFrom locates and pulls one in-flight message from world rank w on
+// any live communicator.
+func (s *TopoSort) pullFrom(env ckpt.DrainEnv, comms []ckpt.DrainComm, w int) error {
+	for _, c := range comms {
+		src := -1
+		for cr, wr := range c.World {
+			if wr == w {
+				src = cr
+				break
+			}
+		}
+		if src < 0 {
+			continue
+		}
+		ok, st, err := env.Probe(c, src, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		got, err := env.Pull(c, st)
+		if err != nil {
+			return err
+		}
+		if got != w {
+			return fmt.Errorf("drain/toposort: pulled message from rank %d while draining rank %d", got, w)
+		}
+		return nil
+	}
+	return fmt.Errorf("drain/toposort: rank %d announced more messages than are probeable", w)
+}
+
+// orderOf topologically sorts the ranks of the (possibly partial) send
+// matrix: an edge p→q exists when p sent q at least one message, so
+// senders come before the ranks that depend on their traffic. Cycles —
+// a ring pipeline is one big cycle — are broken at the smallest
+// remaining rank, making the order deterministic and identical on every
+// rank once the matrix is complete.
+func orderOf(matrix [][]int64) []int {
+	n := len(matrix)
+	indeg := make([]int, n)
+	for p, row := range matrix {
+		if row == nil {
+			continue
+		}
+		for q, cnt := range row {
+			if q != p && cnt > 0 {
+				indeg[q]++
+			}
+		}
+	}
+	done := make([]bool, n)
+	order := make([]int, 0, n)
+	for len(order) < n {
+		pick := -1
+		for r := 0; r < n; r++ {
+			if !done[r] && indeg[r] == 0 {
+				pick = r
+				break
+			}
+		}
+		if pick < 0 {
+			// Cycle: break it at the smallest remaining rank.
+			for r := 0; r < n; r++ {
+				if !done[r] {
+					pick = r
+					break
+				}
+			}
+		}
+		done[pick] = true
+		order = append(order, pick)
+		if row := matrix[pick]; row != nil {
+			for q, cnt := range row {
+				if q != pick && cnt > 0 && indeg[q] > 0 {
+					indeg[q]--
+				}
+			}
+		}
+	}
+	return order
+}

@@ -5,17 +5,24 @@
 // messages, the point-to-point counters, and enough identity metadata to
 // validate a restart.
 //
-// The encoding is a fixed header (magic, version, CRC-32 of the body)
-// followed by a gob-encoded Image. The CRC turns torn or corrupted
-// images into clean errors instead of undefined restarts.
+// Format v3 is a streaming, sectioned encoding: a fixed header (magic,
+// version, flags) followed by framed sections, each carrying its own
+// CRC-32. The application state — the bulk of a real image — travels as
+// raw chunked bytes (optionally gzip-compressed), so large images are
+// written and read section by section instead of through one monolithic
+// gob round-trip, and a flipped bit anywhere turns into a clean error
+// naming the damaged section. Format v2 (whole-body gob with a single
+// trailing CRC) is still decoded for images taken by older builds.
 package ckptimg
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"hash/crc32"
+	"io"
 
 	"manasim/internal/mpi"
 	"manasim/internal/vid"
@@ -25,7 +32,33 @@ import (
 var Magic = [8]byte{'M', 'A', 'N', 'A', 'C', 'K', 'P', 'T'}
 
 // Version is the current image format version.
-const Version uint32 = 2
+const Version uint32 = 3
+
+// VersionLegacy is the monolithic-gob format that Decode still accepts.
+const VersionLegacy uint32 = 2
+
+// FlagGzip marks an image whose application-state section is
+// gzip-compressed.
+const FlagGzip uint32 = 1 << 0
+
+// knownFlags masks the header bits this build understands.
+const knownFlags = FlagGzip
+
+// AppChunk is the maximum payload of one application-state section:
+// large snapshots are split so each chunk is framed and checksummed
+// independently.
+const AppChunk = 256 << 10
+
+// Section tags of the v3 format.
+const (
+	secMeta     uint32 = 0x4D455441 // "META": identity and sizes
+	secApp      uint32 = 0x41505053 // "APPS": application state chunk
+	secStore    uint32 = 0x53544F52 // "STOR": vid store snapshot
+	secDrained  uint32 = 0x44524E53 // "DRNS": drained in-flight messages
+	secReqs     uint32 = 0x52455153 // "REQS": completed receive requests
+	secCounters uint32 = 0x434E5452 // "CNTR": p2p counters
+	secEnd      uint32 = 0x454E4421 // "END!": clean-end marker
+)
 
 // DrainedMsg is one in-flight point-to-point message captured by the
 // drain protocol. The communicator is named by its ggid — the global
@@ -87,8 +120,267 @@ type Image struct {
 	RecvFrom []uint64
 }
 
-// Encode serializes the image with header and checksum.
-func Encode(img *Image) ([]byte, error) {
+// meta is the METAsection payload: everything except the bulk fields.
+type meta struct {
+	Rank           int
+	NRanks         int
+	Step           int
+	Impl           string
+	Design         string
+	UniformHandles bool
+	ModeledBytes   int64
+}
+
+// counters is the CNTR section payload.
+type counters struct {
+	SentTo   []uint64
+	RecvFrom []uint64
+}
+
+// Options parameterizes encoding.
+type Options struct {
+	// Compress gzips the application-state sections — the compression
+	// tier for images whose snapshots are mostly redundant bytes.
+	Compress bool
+}
+
+// Encode serializes the image in the current format with default
+// options.
+func Encode(img *Image) ([]byte, error) { return EncodeOpts(img, Options{}) }
+
+// EncodeOpts serializes the image in the current format.
+func EncodeOpts(img *Image, o Options) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeTo(&buf, img, o); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeTo streams the image to w section by section: header first,
+// then each section framed with its own CRC, then the end marker.
+// Sections are buffered individually (a gob body, one app-state chunk,
+// or — under Options.Compress — the gzipped app state), never as one
+// monolithic gob of the whole image.
+func EncodeTo(w io.Writer, img *Image, o Options) error {
+	var hdr [16]byte
+	copy(hdr[:8], Magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	var flags uint32
+	if o.Compress {
+		flags |= FlagGzip
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckptimg: encode header: %w", err)
+	}
+
+	if err := gobSection(w, secMeta, &meta{
+		Rank: img.Rank, NRanks: img.NRanks, Step: img.Step,
+		Impl: img.Impl, Design: img.Design,
+		UniformHandles: img.UniformHandles, ModeledBytes: img.ModeledBytes,
+	}); err != nil {
+		return err
+	}
+
+	app := img.AppState
+	if o.Compress {
+		var z bytes.Buffer
+		zw := gzip.NewWriter(&z)
+		if _, err := zw.Write(app); err != nil {
+			return fmt.Errorf("ckptimg: compressing app state: %w", err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("ckptimg: compressing app state: %w", err)
+		}
+		app = z.Bytes()
+	}
+	// Chunk the application state so each frame is bounded and
+	// independently checksummed.
+	for off := 0; off == 0 || off < len(app); off += AppChunk {
+		end := min(off+AppChunk, len(app))
+		if err := writeSection(w, secApp, app[off:end]); err != nil {
+			return err
+		}
+	}
+
+	if err := gobSection(w, secStore, &img.Store); err != nil {
+		return err
+	}
+	if err := gobSection(w, secDrained, img.Drained); err != nil {
+		return err
+	}
+	if err := gobSection(w, secReqs, img.ReqResults); err != nil {
+		return err
+	}
+	if err := gobSection(w, secCounters, &counters{SentTo: img.SentTo, RecvFrom: img.RecvFrom}); err != nil {
+		return err
+	}
+	return writeSection(w, secEnd, nil)
+}
+
+// writeSection frames one section: tag, length, CRC-32, payload.
+func writeSection(w io.Writer, tag uint32, payload []byte) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], tag)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ckptimg: writing %s section: %w", tagName(tag), err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("ckptimg: writing %s section: %w", tagName(tag), err)
+	}
+	return nil
+}
+
+// gobSection writes one gob-encoded section.
+func gobSection(w io.Writer, tag uint32, v any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(v); err != nil {
+		return fmt.Errorf("ckptimg: encoding %s section: %w", tagName(tag), err)
+	}
+	return writeSection(w, tag, body.Bytes())
+}
+
+// tagName renders a section tag for error messages.
+func tagName(tag uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], tag)
+	return string(b[:])
+}
+
+// Decode validates and deserializes an image from a byte slice.
+func Decode(data []byte) (*Image, error) { return DecodeFrom(bytes.NewReader(data)) }
+
+// DecodeFrom validates and deserializes an image from a stream, section
+// by section for v3 images. Legacy v2 images are recognized by their
+// header version and decoded through the old monolithic path.
+func DecodeFrom(r io.Reader) (*Image, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckptimg: image truncated reading header: %w", err)
+	}
+	if !bytes.Equal(hdr[:8], Magic[:]) {
+		return nil, fmt.Errorf("ckptimg: bad magic %q", hdr[:8])
+	}
+	ver := binary.LittleEndian.Uint32(hdr[8:12])
+	switch ver {
+	case VersionLegacy:
+		return decodeV2(hdr, r)
+	case Version:
+	default:
+		return nil, fmt.Errorf("ckptimg: unsupported image version %d (want %d or %d)", ver, Version, VersionLegacy)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^knownFlags != 0 {
+		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
+	}
+
+	img := &Image{}
+	var appChunks [][]byte
+	var sawMeta, sawEnd bool
+	for !sawEnd {
+		tag, payload, err := readSection(r)
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case secMeta:
+			var m meta
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+				return nil, fmt.Errorf("ckptimg: decoding META section: %w", err)
+			}
+			img.Rank, img.NRanks, img.Step = m.Rank, m.NRanks, m.Step
+			img.Impl, img.Design = m.Impl, m.Design
+			img.UniformHandles, img.ModeledBytes = m.UniformHandles, m.ModeledBytes
+			sawMeta = true
+		case secApp:
+			appChunks = append(appChunks, payload)
+		case secStore:
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Store); err != nil {
+				return nil, fmt.Errorf("ckptimg: decoding STOR section: %w", err)
+			}
+		case secDrained:
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Drained); err != nil {
+				return nil, fmt.Errorf("ckptimg: decoding DRNS section: %w", err)
+			}
+		case secReqs:
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.ReqResults); err != nil {
+				return nil, fmt.Errorf("ckptimg: decoding REQS section: %w", err)
+			}
+		case secCounters:
+			var c counters
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+				return nil, fmt.Errorf("ckptimg: decoding CNTR section: %w", err)
+			}
+			img.SentTo, img.RecvFrom = c.SentTo, c.RecvFrom
+		case secEnd:
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (image corrupted)", tag)
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("ckptimg: image has no META section")
+	}
+	// Nothing may follow the end marker: trailing bytes mean a torn or
+	// concatenated write (the v2 whole-body CRC caught this too).
+	var trail [1]byte
+	if n, err := io.ReadFull(r, trail[:]); n > 0 || err != io.EOF {
+		return nil, fmt.Errorf("ckptimg: trailing data after end marker (image corrupted)")
+	}
+	app := bytes.Join(appChunks, nil)
+	if flags&FlagGzip != 0 {
+		zr, err := gzip.NewReader(bytes.NewReader(app))
+		if err != nil {
+			return nil, fmt.Errorf("ckptimg: decompressing app state: %w", err)
+		}
+		app, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("ckptimg: decompressing app state: %w", err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("ckptimg: decompressing app state: %w", err)
+		}
+	}
+	if len(app) > 0 {
+		img.AppState = app
+	}
+	return img, nil
+}
+
+// readSection reads and checksums one framed section.
+func readSection(r io.Reader) (uint32, []byte, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("ckptimg: image truncated reading section header: %w", err)
+	}
+	tag := binary.LittleEndian.Uint32(hdr[0:4])
+	size := binary.LittleEndian.Uint64(hdr[4:12])
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+	const maxSection = 1 << 31
+	if size > maxSection {
+		return 0, nil, fmt.Errorf("ckptimg: %s section claims %d bytes (image corrupted)", tagName(tag), size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("ckptimg: image truncated reading %s section: %w", tagName(tag), err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return 0, nil, fmt.Errorf("ckptimg: %s section checksum mismatch (image corrupted): %08x != %08x", tagName(tag), got, wantCRC)
+	}
+	return tag, payload, nil
+}
+
+// ---------------------------------------------------------------------
+// legacy v2 format
+
+// EncodeLegacy serializes the image in the v2 monolithic-gob format.
+// New checkpoints are always written as v3; this exists so
+// compatibility tests and older tooling can produce v2 images that
+// Decode must keep accepting.
+func EncodeLegacy(img *Image) ([]byte, error) {
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(img); err != nil {
 		return nil, fmt.Errorf("ckptimg: encode: %w", err)
@@ -96,27 +388,21 @@ func Encode(img *Image) ([]byte, error) {
 	out := make([]byte, 0, 16+body.Len())
 	out = append(out, Magic[:]...)
 	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], Version)
+	binary.LittleEndian.PutUint32(hdr[0:], VersionLegacy)
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body.Bytes()))
 	out = append(out, hdr[:]...)
 	out = append(out, body.Bytes()...)
 	return out, nil
 }
 
-// Decode validates and deserializes an image.
-func Decode(data []byte) (*Image, error) {
-	if len(data) < 16 {
-		return nil, fmt.Errorf("ckptimg: image truncated (%d bytes)", len(data))
+// decodeV2 decodes the legacy format: hdr[12:16] is the CRC-32 of the
+// whole gob body that follows.
+func decodeV2(hdr [16]byte, r io.Reader) (*Image, error) {
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ckptimg: reading v2 body: %w", err)
 	}
-	if !bytes.Equal(data[:8], Magic[:]) {
-		return nil, fmt.Errorf("ckptimg: bad magic %q", data[:8])
-	}
-	ver := binary.LittleEndian.Uint32(data[8:12])
-	if ver != Version {
-		return nil, fmt.Errorf("ckptimg: unsupported image version %d (want %d)", ver, Version)
-	}
-	wantCRC := binary.LittleEndian.Uint32(data[12:16])
-	body := data[16:]
 	if got := crc32.ChecksumIEEE(body); got != wantCRC {
 		return nil, fmt.Errorf("ckptimg: checksum mismatch (image corrupted): %08x != %08x", got, wantCRC)
 	}

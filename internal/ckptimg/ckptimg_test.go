@@ -1,8 +1,12 @@
 package ckptimg
 
 import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
 	"strings"
 	"testing"
+	"testing/iotest"
 	"testing/quick"
 
 	"manasim/internal/mpi"
@@ -140,5 +144,160 @@ func TestTotalBytes(t *testing.T) {
 	img := sampleImage(0, 1, 0)
 	if got := img.TotalBytes(1000); got != 1000+32<<20 {
 		t.Fatalf("total %d", got)
+	}
+}
+
+// ---------------------------------------------------------------------
+// format v3: sections, compression, streaming, v2 compatibility
+
+// sameImage compares the fields a restart depends on.
+func sameImage(t *testing.T, got, want *Image) {
+	t.Helper()
+	if got.Rank != want.Rank || got.NRanks != want.NRanks || got.Step != want.Step ||
+		got.Impl != want.Impl || got.Design != want.Design ||
+		got.UniformHandles != want.UniformHandles || got.ModeledBytes != want.ModeledBytes {
+		t.Fatalf("identity mismatch: %+v vs %+v", got, want)
+	}
+	if !bytes.Equal(got.AppState, want.AppState) {
+		t.Fatalf("app state %v vs %v", got.AppState, want.AppState)
+	}
+	if !reflect.DeepEqual(got.Store, want.Store) {
+		t.Fatalf("store %+v vs %+v", got.Store, want.Store)
+	}
+	if !reflect.DeepEqual(got.Drained, want.Drained) {
+		t.Fatalf("drained %+v vs %+v", got.Drained, want.Drained)
+	}
+	if !reflect.DeepEqual(got.ReqResults, want.ReqResults) {
+		t.Fatalf("reqresults %+v vs %+v", got.ReqResults, want.ReqResults)
+	}
+	if !reflect.DeepEqual(got.SentTo, want.SentTo) || !reflect.DeepEqual(got.RecvFrom, want.RecvFrom) {
+		t.Fatalf("counters %v/%v vs %v/%v", got.SentTo, got.RecvFrom, want.SentTo, want.RecvFrom)
+	}
+}
+
+func TestDecodeAcceptsLegacyV2Images(t *testing.T) {
+	img := sampleImage(1, 2, 4)
+	data, err := EncodeLegacy(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver := binary.LittleEndian.Uint32(data[8:12]); ver != VersionLegacy {
+		t.Fatalf("legacy encoder wrote version %d", ver)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("v2 image rejected by v3 decoder: %v", err)
+	}
+	sameImage(t, got, img)
+
+	// v2 corruption is still detected by the whole-body CRC.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x04
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("corrupted v2 image accepted")
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	img := sampleImage(0, 2, 4)
+	// A compressible app state larger than one chunk.
+	img.AppState = bytes.Repeat([]byte("manasim"), (AppChunk/7)+1000)
+	plain, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := EncodeOpts(img, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) >= len(plain) {
+		t.Fatalf("gzip did not shrink a repetitive image: %d >= %d", len(packed), len(plain))
+	}
+	got, err := Decode(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImage(t, got, img)
+}
+
+func TestChunkedAppStateRoundTrip(t *testing.T) {
+	img := sampleImage(0, 2, 4)
+	img.AppState = make([]byte, 3*AppChunk+17)
+	for i := range img.AppState {
+		img.AppState[i] = byte(i * 31)
+	}
+	data, err := Encode(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImage(t, got, img)
+}
+
+func TestStreamingEncodeDecode(t *testing.T) {
+	img := sampleImage(0, 2, 4)
+	var buf bytes.Buffer
+	if err := EncodeTo(&buf, img, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Decode through a reader that yields one byte at a time, proving
+	// no whole-image buffering is required on the read side either.
+	got, err := DecodeFrom(iotest.OneByteReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameImage(t, got, img)
+}
+
+func TestDecodeRejectsTruncatedHeader(t *testing.T) {
+	data, err := Encode(sampleImage(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 7, 8, 15} {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("%d-byte header accepted", n)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownFlags(t *testing.T) {
+	data, err := Encode(sampleImage(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[14] |= 0x80 // an undefined flag bit
+	if _, err := Decode(bad); err == nil || !strings.Contains(err.Error(), "flags") {
+		t.Fatalf("unknown flags: %v", err)
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	data, err := Encode(sampleImage(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn write that appended garbage (or a second image) after the
+	// end marker must be rejected, as the v2 whole-body CRC did.
+	if _, err := Decode(append(append([]byte(nil), data...), 0xEE)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), data...)); err == nil {
+		t.Fatal("concatenated images accepted")
+	}
+}
+
+func TestDecodeRejectsMissingEndMarker(t *testing.T) {
+	data, err := Encode(sampleImage(0, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the END frame (16-byte header, empty payload).
+	if _, err := Decode(data[:len(data)-16]); err == nil {
+		t.Fatal("image without end marker accepted")
 	}
 }

@@ -4,18 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 
+	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
 	"manasim/internal/fsim"
 	"manasim/internal/mpi"
 	"manasim/internal/vid"
 )
-
-// ctlTag is the MANA-internal tag used on manaComm for checkpoint
-// coordination messages (rank 0 announcing the agreed boundary).
-const ctlTag = 1
 
 // ErrStoppedAtCheckpoint is returned through the job when
 // Config.ExitAtCheckpoint ends execution after a checkpoint — the
@@ -23,87 +18,14 @@ const ctlTag = 1
 // not a failure.
 var ErrStoppedAtCheckpoint = errors.New("mana: job stopped after checkpoint (preemption)")
 
-// Coordinator drives checkpoints across the ranks of one MANA job. It
-// plays the role of the DMTCP coordinator in real MANA: an entity
-// outside the ranks that requests checkpoints and collects images.
-type Coordinator struct {
-	n       int
-	fs      fsim.FS
-	storage *fsim.Storage
-	lag     int
-
-	// atStep is a preset checkpoint boundary (deterministic tests and
-	// scheduled checkpoints); <0 means none.
-	atStep atomic.Int64
-	// asyncReq requests a checkpoint "now": rank 0 picks the boundary
-	// at its next safe point and announces it (the signal path).
-	asyncReq atomic.Bool
-	// announced is set once rank 0 has broadcast the agreed boundary;
-	// non-root ranks poll for the announcement while it is set.
-	announced atomic.Bool
-
-	mu     sync.Mutex
-	images map[int][]byte
-	taken  int // completed checkpoint generations
-}
+// Coordinator drives checkpoints across the ranks of one MANA job. The
+// implementation lives in the checkpoint subsystem (internal/ckpt); the
+// alias keeps the runtime API unchanged.
+type Coordinator = ckpt.Coordinator
 
 // NewCoordinator builds a coordinator for an n-rank job.
 func NewCoordinator(n int, fs fsim.FS, storage *fsim.Storage, lag int) *Coordinator {
-	if storage == nil {
-		storage = fsim.NewStorage()
-	}
-	if lag <= 0 {
-		lag = 8
-	}
-	c := &Coordinator{n: n, fs: fs, storage: storage, lag: lag, images: make(map[int][]byte)}
-	c.atStep.Store(-1)
-	return c
-}
-
-// RequestCheckpointAtStep schedules a checkpoint at the given step
-// boundary (before executing that step). All ranks observe the same
-// target, so no agreement traffic is needed.
-func (c *Coordinator) RequestCheckpointAtStep(s int) { c.atStep.Store(int64(s)) }
-
-// RequestCheckpoint asks for a checkpoint as soon as possible: rank 0
-// picks a boundary a few steps ahead at its next safe point and
-// announces it to all ranks over MANA's internal communicator — the
-// simulator's stand-in for the checkpoint signal.
-func (c *Coordinator) RequestCheckpoint() { c.asyncReq.Store(true) }
-
-// Storage exposes the checkpoint store.
-func (c *Coordinator) Storage() *fsim.Storage { return c.storage }
-
-// Taken reports how many complete checkpoints have been written.
-func (c *Coordinator) Taken() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.taken
-}
-
-// Images returns the most recent complete image set, ordered by rank.
-func (c *Coordinator) Images() ([][]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.images) != c.n {
-		return nil, fmt.Errorf("mana: have %d/%d rank images", len(c.images), c.n)
-	}
-	out := make([][]byte, c.n)
-	for r, img := range c.images {
-		out[r] = img
-	}
-	return out, nil
-}
-
-// deliver records one rank's encoded image.
-func (c *Coordinator) deliver(rank int, data []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.images[rank] = data
-	if len(c.images) == c.n {
-		c.taken++
-	}
-	c.storage.Write(fmt.Sprintf("ckpt_rank%d", rank), data)
+	return ckpt.NewCoordinator(n, fs, storage, lag)
 }
 
 // ---------------------------------------------------------------------
@@ -126,85 +48,22 @@ func (r *Runtime) AtBoundary(step, total int) error {
 	if r.co == nil {
 		return nil
 	}
-
-	// Preset target (deterministic scheduling).
-	if t := int(r.co.atStep.Load()); t >= 0 && r.ckptAtStep < 0 {
-		r.ckptAtStep = clampStep(t, total)
+	target, err := r.co.NextBoundary(ctlLink{r}, r.rank, step, total, r.ckptAtStep)
+	if err != nil {
+		return err
 	}
-
-	// Async signal path: rank 0 picks the boundary and announces it.
-	if r.co.asyncReq.Load() && !r.co.announced.Load() && r.ckptAtStep < 0 && r.rank == 0 {
-		s := clampStep(step+r.co.lag, total)
-		r.ckptAtStep = s
-		payload := mpi.Int64Bytes([]int64{int64(s)})
-		i64, err := r.lower.LookupConst(mpi.ConstInt64)
-		if err != nil {
-			return err
-		}
-		for p := 1; p < r.size; p++ {
-			r.bnd.Enter()
-			err := r.lower.Send(payload, 1, i64, p, ctlTag, r.manaComm)
-			r.bnd.Leave()
-			if err != nil {
-				return fmt.Errorf("mana: announcing checkpoint: %w", err)
-			}
-		}
-		r.co.announced.Store(true)
-	}
-
-	// Non-root ranks poll for an announcement while one is in flight.
-	if r.ckptAtStep < 0 && r.rank != 0 && r.co.announced.Load() {
-		i64, err := r.lower.LookupConst(mpi.ConstInt64)
-		if err != nil {
-			return err
-		}
-		r.bnd.Enter()
-		ok, _, err := r.lower.Iprobe(0, ctlTag, r.manaComm)
-		r.bnd.Leave()
-		if err != nil {
-			return err
-		}
-		if ok {
-			buf := make([]byte, 8)
-			r.bnd.Enter()
-			_, err := r.lower.Recv(buf, 1, i64, 0, ctlTag, r.manaComm)
-			r.bnd.Leave()
-			if err != nil {
-				return err
-			}
-			s := int(mpi.Int64s(buf)[0])
-			if step > s {
-				return fmt.Errorf("mana: checkpoint skew bound exceeded: rank %d at step %d, target %d (raise Config.SkewBound)", r.rank, step, s)
-			}
-			r.ckptAtStep = s
-		}
-	}
-
+	r.ckptAtStep = target
 	if r.ckptAtStep >= 0 && step == r.ckptAtStep {
 		if err := r.doCheckpoint(step); err != nil {
 			return err
 		}
 		r.ckptAtStep = -1
-		if t := r.co.atStep.Load(); t >= 0 && clampStep(int(t), total) == step {
-			r.co.atStep.Store(-1)
-		}
-		// Every rank consumed its announcement before checkpointing, so
-		// clearing the async flags here is idempotent and race-free.
-		r.co.asyncReq.Store(false)
-		r.co.announced.Store(false)
+		r.co.CheckpointDone(step, total)
 		if r.cfg.ExitAtCheckpoint {
 			return ErrStoppedAtCheckpoint
 		}
 	}
 	return nil
-}
-
-// clampStep bounds a checkpoint target to the final boundary.
-func clampStep(s, total int) int {
-	if s > total {
-		return total
-	}
-	return s
 }
 
 // doCheckpoint executes MANA's coordinated checkpoint protocol at an
@@ -221,18 +80,15 @@ func (r *Runtime) doCheckpoint(step int) error {
 		return fmt.Errorf("mana: completing pending receives: %w", err)
 	}
 
-	// Phase 2: exchange cumulative per-peer send counters over the
-	// lower half (MPI_Alltoall — Section 5 category 3). Completing this
-	// collective means every rank has stopped application sending.
-	theirSent, err := r.exchangeCounters()
+	// Phases 2+3: reconcile the point-to-point counters and pull every
+	// in-flight message off the network, via the configured drain
+	// strategy (Section 5 categories 1 and 3; internal/ckpt/drain).
+	env, err := r.newDrainEnv()
 	if err != nil {
-		return fmt.Errorf("mana: counter exchange: %w", err)
+		return err
 	}
-
-	// Phase 3: drain in-flight messages with Iprobe + Recv (Section 5
-	// category 1).
-	if err := r.drainInFlight(theirSent); err != nil {
-		return fmt.Errorf("mana: drain: %w", err)
+	if err := r.drain.Drain(env); err != nil {
+		return fmt.Errorf("mana: drain (%s): %w", r.drain.Name(), err)
 	}
 
 	// Phase 4: under the decode strategy, rewrite datatype descriptors
@@ -260,7 +116,9 @@ func (r *Runtime) doCheckpoint(step int) error {
 		return err
 	}
 	r.clock.Advance(r.cfg.FS.WriteCost(totalBytes))
-	r.co.deliver(r.rank, data)
+	if err := r.co.Deliver(r.rank, data); err != nil {
+		return err
+	}
 
 	// Phase 7: completion barrier so no rank resumes into a half-taken
 	// checkpoint.
@@ -297,111 +155,6 @@ func (r *Runtime) completePendingRecvs() error {
 		}
 		r.reqResults[virt] = st
 		delete(r.reqBufs, virt)
-	}
-	return nil
-}
-
-// exchangeCounters runs the Alltoall of cumulative sent counters and
-// returns, per world rank, how many messages that rank has sent to us.
-func (r *Runtime) exchangeCounters() ([]uint64, error) {
-	u64, err := r.lower.LookupConst(mpi.ConstUint64)
-	if err != nil {
-		return nil, err
-	}
-	send := mpi.Uint64Bytes(r.sentTo)
-	recv := make([]byte, 8*r.size)
-	r.bnd.Enter()
-	err = r.lower.Alltoall(send, 1, u64, recv, 1, u64, r.manaComm)
-	r.bnd.Leave()
-	if err != nil {
-		return nil, err
-	}
-	return mpi.Uint64s(recv), nil
-}
-
-// drainInFlight pulls every in-flight application message off the
-// network into the drain buffer, using only MPI_Iprobe and MPI_Recv on
-// the lower half.
-func (r *Runtime) drainInFlight(theirSent []uint64) error {
-	expect := make([]int64, r.size)
-	var total int64
-	for p := 0; p < r.size; p++ {
-		expect[p] = int64(theirSent[p]) - int64(r.recvFrom[p])
-		if expect[p] < 0 {
-			return fmt.Errorf("mana: counter underflow from rank %d: sent %d, received %d", p, theirSent[p], r.recvFrom[p])
-		}
-		total += expect[p]
-	}
-	if total == 0 {
-		return nil
-	}
-
-	byteDt, err := r.lower.LookupConst(mpi.ConstByte)
-	if err != nil {
-		return err
-	}
-	// Live communicators to probe.
-	comms := make([]vid.Item, 0, 4)
-	for _, it := range r.store.Items() {
-		if it.Kind == mpi.KindComm && !it.Freed && !it.Desc.ResultNull {
-			comms = append(comms, it)
-		}
-	}
-
-	for total > 0 {
-		progressed := false
-		for _, it := range comms {
-			pc, err := r.store.Phys(mpi.KindComm, it.Virt)
-			if err != nil {
-				return err
-			}
-			for {
-				r.bnd.Enter()
-				ok, st, err := r.lower.Iprobe(mpi.AnySource, mpi.AnyTag, pc)
-				r.bnd.Leave()
-				if err != nil {
-					return err
-				}
-				if !ok {
-					break
-				}
-				buf := make([]byte, st.Bytes)
-				r.bnd.Enter()
-				st2, err := r.lower.Recv(buf, st.Bytes, byteDt, st.Source, st.Tag, pc)
-				r.bnd.Leave()
-				if err != nil {
-					return err
-				}
-				w, err := r.worldOf(it.Virt, st2.Source)
-				if err != nil {
-					return err
-				}
-				gg, err := r.ggidOf(it.Virt)
-				if err != nil {
-					return err
-				}
-				r.drained = append(r.drained, ckptimg.DrainedMsg{
-					GGID:        gg,
-					SrcCommRank: st2.Source,
-					SrcWorld:    w,
-					Tag:         st2.Tag,
-					Payload:     buf[:st2.Bytes],
-				})
-				r.recvFrom[w]++
-				expect[w]--
-				total--
-				progressed = true
-				if expect[w] < 0 {
-					return fmt.Errorf("mana: drained more messages from rank %d than its counter claims", w)
-				}
-			}
-		}
-		if !progressed && total > 0 {
-			// The counter exchange is a barrier and the transport is
-			// deposit-on-send, so everything expected must already be
-			// probeable. Anything else is a protocol bug.
-			return fmt.Errorf("mana: drain stalled with %d messages outstanding", total)
-		}
 	}
 	return nil
 }
@@ -498,7 +251,7 @@ func (r *Runtime) buildImage(step int) ([]byte, int64, error) {
 		img.ReqResults = append(img.ReqResults, ckptimg.ReqResult{Virt: virt, St: st})
 	}
 	sort.Slice(img.ReqResults, func(i, j int) bool { return img.ReqResults[i].Virt < img.ReqResults[j].Virt })
-	data, err := ckptimg.Encode(img)
+	data, err := ckptimg.EncodeOpts(img, ckptimg.Options{Compress: r.cfg.CompressImages})
 	if err != nil {
 		return nil, 0, err
 	}

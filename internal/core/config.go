@@ -26,6 +26,7 @@ package mana
 import (
 	"fmt"
 
+	"manasim/internal/ckpt"
 	"manasim/internal/cluster"
 	"manasim/internal/fsim"
 	"manasim/internal/simtime"
@@ -74,6 +75,15 @@ type Config struct {
 	// SkewBound is the maximum step skew tolerated between ranks when
 	// coordinating an asynchronous checkpoint request (default 8).
 	SkewBound int
+	// DrainStrategy names the in-flight message drain algorithm used at
+	// checkpoint time (default ckpt.DefaultDrain, the paper's two-phase
+	// counter exchange; "toposort" selects the collective-free
+	// topological-sort drain of arXiv:2408.02218). Strategies are
+	// registered by internal/ckpt/drain.
+	DrainStrategy string
+	// CompressImages gzips the application-state sections of checkpoint
+	// images (ckptimg format v3).
+	CompressImages bool
 }
 
 // withDefaults fills unset fields.
@@ -92,6 +102,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.SkewBound <= 0 {
 		c.SkewBound = 8
+	}
+	if c.DrainStrategy == "" {
+		c.DrainStrategy = ckpt.DefaultDrain
 	}
 	return c, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
 	"manasim/internal/mpi"
 	"manasim/internal/simtime"
@@ -37,6 +38,10 @@ func NewRuntimeFromImage(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *C
 	}
 	cfg.UniformHandles = img.UniformHandles
 	cfg.Design = Design(img.Design)
+	drain, err := ckpt.NewDrain(cfg.DrainStrategy)
+	if err != nil {
+		return nil, fmt.Errorf("mana: %w", err)
+	}
 
 	rt := &Runtime{
 		cfg:        cfg,
@@ -54,6 +59,7 @@ func NewRuntimeFromImage(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *C
 		recvFrom:   append([]uint64(nil), img.RecvFrom...),
 		co:         co,
 		ckptAtStep: -1,
+		drain:      drain,
 	}
 	for _, rr := range img.ReqResults {
 		rt.reqResults[rr.Virt] = rr.St

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
 	"manasim/internal/mpi"
 	"manasim/internal/simtime"
@@ -61,6 +62,8 @@ type Runtime struct {
 	stepNow int
 	// ckptAtStep is the agreed checkpoint boundary (-1: none pending).
 	ckptAtStep int
+	// drain is the configured in-flight message drain strategy.
+	drain ckpt.DrainStrategy
 
 	snapshotFn  func() ([]byte, error)
 	footprintFn func() int64
@@ -86,6 +89,10 @@ func NewRuntime(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *Coordinato
 	if err != nil {
 		return nil, err
 	}
+	drain, err := ckpt.NewDrain(cfg.DrainStrategy)
+	if err != nil {
+		return nil, fmt.Errorf("mana: %w", err)
+	}
 	rt := &Runtime{
 		cfg:        cfg,
 		lower:      lower,
@@ -101,6 +108,7 @@ func NewRuntime(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *Coordinato
 		recvFrom:   make([]uint64, lower.Size()),
 		co:         co,
 		ckptAtStep: -1,
+		drain:      drain,
 	}
 	markResolvedCaller(lower)
 	if err := rt.initManaComm(); err != nil {

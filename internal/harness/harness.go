@@ -23,6 +23,10 @@ import (
 	"manasim/internal/fsim"
 	"manasim/internal/impls"
 	"manasim/internal/simtime"
+
+	// The harness runs checkpointing cells; wire in the drain
+	// strategies explicitly rather than relying on transitive imports.
+	_ "manasim/internal/ckpt/drain"
 )
 
 // Mode selects the execution configuration of one bar in a figure.

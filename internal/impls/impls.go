@@ -12,6 +12,10 @@ import (
 	"manasim/internal/exampi"
 	"manasim/internal/mpich"
 	"manasim/internal/openmpi"
+
+	// Selecting an implementation implies running jobs that may
+	// checkpoint; wire in the built-in drain strategies.
+	_ "manasim/internal/ckpt/drain"
 )
 
 // Factory aliases cluster.Factory: the constructor of one rank's
