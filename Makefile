@@ -36,6 +36,16 @@ bench:
 	@echo "Running all benchmarks once..."
 	@$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# bench-smoke is the CI alias: every benchmark must run once without
+# failing.
+.PHONY: bench-smoke
+bench-smoke: bench
+
+.PHONY: bench-delta
+bench-delta:
+	@echo "Running delta codec and chain-materialization benchmarks..."
+	@$(GO) test -run '^$$' -bench 'BenchmarkDeltaEncode|BenchmarkChainMaterialize' -benchtime 3x .
+
 .PHONY: bench-drain
 bench-drain:
 	@echo "Running checkpoint drain benchmarks (twophase vs toposort)..."

@@ -17,6 +17,7 @@ import (
 	"manasim/internal/apps"
 	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
+	"manasim/internal/ckptstore"
 	mana "manasim/internal/core"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
@@ -347,6 +348,104 @@ func BenchmarkCrossImplRestart(b *testing.B) {
 		if _, err := mana.Restart(dst, images, spec.New(in)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchImage builds a synthetic rank image whose app state has the
+// given size; changedFrac of its chunks differ from the parent state.
+func benchImage(size int, gen int, changedFrac float64) *ckptimg.Image {
+	app := make([]byte, size)
+	for i := range app {
+		app[i] = byte(i * 31)
+	}
+	// Mutate a trailing fraction so chunk-level deltas see a stable
+	// prefix — the static-bulk shape real images have.
+	from := int(float64(size) * (1 - changedFrac))
+	for i := from; i < size; i++ {
+		app[i] = byte(i ^ gen*251)
+	}
+	return &ckptimg.Image{
+		Rank: 0, NRanks: 1, Step: gen,
+		Impl: "mpich", Design: "virtid", AppState: app,
+	}
+}
+
+// BenchmarkDeltaEncode measures the incremental encoder against the
+// full encoder on a 4 MB app state at several changed fractions: the
+// hot path every delta generation pays per rank.
+func BenchmarkDeltaEncode(b *testing.B) {
+	const size = 4 << 20
+	parent := benchImage(size, 0, 0)
+	idx := ckptimg.IndexAppState(parent.AppState, ckptimg.AppChunk)
+	b.Run("full", func(b *testing.B) {
+		img := benchImage(size, 1, 0.1)
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ckptimg.Encode(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, frac := range []float64{0.05, 0.25, 1.0} {
+		b.Run(fmt.Sprintf("delta/changed=%.0f%%", frac*100), func(b *testing.B) {
+			img := benchImage(size, 1, frac)
+			b.SetBytes(size)
+			var encoded int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, st, err := ckptimg.EncodeDelta(img, idx, 0, ckptimg.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Changed == 0 && frac > 0 {
+					b.Fatal("no chunks changed")
+				}
+				encoded = len(data)
+			}
+			b.ReportMetric(float64(encoded)/1024, "delta-KB")
+		})
+	}
+}
+
+// BenchmarkChainMaterialize measures restart-side chain resolution:
+// rebuilding a full image from a base plus k delta generations.
+func BenchmarkChainMaterialize(b *testing.B) {
+	const size = 4 << 20
+	for _, chain := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("deltas=%d", chain), func(b *testing.B) {
+			st := ckptstore.MustOpen(1, ckptstore.Options{Delta: true, ChainCap: chain + 1})
+			for gen := 0; gen <= chain; gen++ {
+				img := benchImage(size, gen, 0.1)
+				var data []byte
+				var err error
+				if parent, pgen, ok := st.PlanDelta(0); ok {
+					data, _, err = ckptimg.EncodeDelta(img, parent, pgen, st.EncodeOptions())
+				} else {
+					data, err = ckptimg.EncodeOpts(img, st.EncodeOptions())
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Commit([][]byte{data}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if head, _ := st.Head(); head.Base() {
+				b.Fatal("head generation is not a delta")
+			}
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				imgs, err := st.MaterializeHead()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(imgs) != 1 {
+					b.Fatal("missing image")
+				}
+			}
+		})
 	}
 }
 

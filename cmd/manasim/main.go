@@ -19,6 +19,7 @@ import (
 	"manasim/internal/apps"
 	ckptsub "manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
+	"manasim/internal/ckptstore"
 	mana "manasim/internal/core"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
@@ -76,10 +77,14 @@ run flags:
   -uniform use 64-bit MANA handle embedding (cross-impl restart)
   -drain   drain strategy at checkpoint time (twophase, toposort)
   -compress gzip the application state in checkpoint images
+  -store   checkpoint store backend (mem, fs)
+  -ckpt-dir directory of the fs store backend (implies -store fs)
+  -delta   write incremental (delta) checkpoint generations
+  -chunk-kb delta chunk size in KiB (default 256; shrink for proxy-size snapshots)
   -site    discovery (default) or perlmutter
 
 experiment flags:
-  -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, or all
+  -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta, or all
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
 `)
@@ -118,6 +123,10 @@ func cmdRun(args []string) error {
 	uniform := fs.Bool("uniform", false, "64-bit MANA handle embedding")
 	drainName := fs.String("drain", ckptsub.DefaultDrain, "drain strategy (twophase, toposort)")
 	compress := fs.Bool("compress", false, "gzip checkpoint image app state")
+	storeName := fs.String("store", "", "checkpoint store backend (mem, fs)")
+	ckptDir := fs.String("ckpt-dir", "", "fs store backend directory")
+	delta := fs.Bool("delta", false, "write incremental checkpoint generations")
+	chunkKB := fs.Int("chunk-kb", 0, "delta chunk size in KiB (default ckptimg.AppChunk; shrink to match proxy snapshot sizes)")
 	siteName := fs.String("site", "discovery", "site profile")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,9 +161,28 @@ func cmdRun(args []string) error {
 		UniformHandles: *uniform,
 		DrainStrategy:  *drainName,
 		CompressImages: *compress,
+		DeltaImages:    *delta,
 	}
 	if *legacy {
 		cfg.Design = mana.DesignLegacy
+	}
+	if *ckptDir != "" && *storeName == "" {
+		*storeName = "fs"
+	}
+	// -delta and -chunk-kb need an explicit store even without -store:
+	// the implicit in-core store has no chunk-size knob.
+	if *storeName != "" || *delta || *chunkKB > 0 {
+		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
+			Backend:    *storeName,
+			Dir:        *ckptDir,
+			Delta:      *delta,
+			Compress:   *compress,
+			ChunkBytes: *chunkKB << 10,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Store = st
 	}
 
 	start := time.Now()
@@ -178,11 +206,21 @@ func cmdRun(args []string) error {
 
 	// Checkpoint, stop, optionally restart.
 	cfg.ExitAtCheckpoint = true
-	st, images, err := mana.Run(cfg, in.Ranks, spec.New(in), *ckpt)
+	s, err := mana.StartJob(cfg, in.Ranks, spec.New(in))
+	if err != nil {
+		return err
+	}
+	s.Co.RequestCheckpointAtStep(*ckpt)
+	st, err := s.Wait()
 	if err != nil {
 		return err
 	}
 	report(*appName, "MANA/"+*implName, st, in, start)
+	store := s.Store()
+	images, err := store.MaterializeHead()
+	if err != nil {
+		return err
+	}
 	var bytes int
 	for _, img := range images {
 		bytes += len(img)
@@ -193,6 +231,14 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("checkpoint: %d rank images at step %d, %d KB real + %d MB modeled per rank\n",
 		len(images), img0.Step, bytes/len(images)/1024, img0.ModeledBytes>>20)
+	for _, g := range store.Generations() {
+		kind := "base"
+		if !g.Base() {
+			kind = fmt.Sprintf("delta (%d ranks)", g.DeltaRanks)
+		}
+		fmt.Printf("store[%s]: generation %d at step %d: %s, %d KB stored\n",
+			store.BackendName(), g.Seq, g.Step, kind, g.Bytes/1024)
+	}
 
 	if *restartImpl == "" {
 		return nil
@@ -202,7 +248,7 @@ func cmdRun(args []string) error {
 		return err
 	}
 	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName}
-	rst, err := mana.Restart(rcfg, images, spec.New(in))
+	rst, err := mana.RestartFromStore(rcfg, store, spec.New(in))
 	if err != nil {
 		return err
 	}
@@ -277,13 +323,19 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteDrain(os.Stdout, rows)
+		case "delta":
+			rows, err := harness.DeltaImages(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteDelta(os.Stdout, rows)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
 		return nil
 	}
 	if *name == "all" {
-		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain"} {
+		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta"} {
 			if err := run(n); err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"manasim/internal/ckptstore"
 	"manasim/internal/fsim"
 )
 
@@ -55,11 +56,13 @@ type CtlLink interface {
 
 // Coordinator drives checkpoints across the ranks of one MANA job. It
 // plays the role of the DMTCP coordinator in real MANA: an entity
-// outside the ranks that requests checkpoints and collects images.
+// outside the ranks that requests checkpoints and collects images into
+// the generation-chained checkpoint store.
 type Coordinator struct {
 	n       int
 	fs      fsim.FS
 	storage *fsim.Storage
+	store   *ckptstore.Store
 	lag     int
 
 	// atStep is a preset checkpoint boundary (deterministic tests and
@@ -73,23 +76,35 @@ type Coordinator struct {
 	announced atomic.Bool
 
 	mu sync.Mutex
-	// gen holds the current generation's delivered images by rank.
+	// gen stages the current generation's delivered images by rank; a
+	// generation reaches the store only when every rank has delivered,
+	// so the store never records a partial generation.
 	gen map[int][]byte
-	// last is the most recent complete image set, ordered by rank.
-	last [][]byte
-	// taken counts completed checkpoint generations.
+	// taken counts checkpoint generations completed by THIS coordinator
+	// (a restarted job reuses a store with earlier generations).
 	taken int
 }
 
-// NewCoordinator builds a coordinator for an n-rank job.
+// NewCoordinator builds a coordinator for an n-rank job with a fresh
+// in-memory, full-image store (the compat path: callers that want delta
+// images or durable backends use NewStoreCoordinator).
 func NewCoordinator(n int, fs fsim.FS, storage *fsim.Storage, lag int) *Coordinator {
+	return NewStoreCoordinator(n, fs, storage, nil, lag)
+}
+
+// NewStoreCoordinator builds a coordinator delivering into st; a nil st
+// gets a fresh in-memory store.
+func NewStoreCoordinator(n int, fs fsim.FS, storage *fsim.Storage, st *ckptstore.Store, lag int) *Coordinator {
 	if storage == nil {
 		storage = fsim.NewStorage()
+	}
+	if st == nil {
+		st = ckptstore.MustOpen(n, ckptstore.Options{})
 	}
 	if lag <= 0 {
 		lag = 8
 	}
-	c := &Coordinator{n: n, fs: fs, storage: storage, lag: lag, gen: make(map[int][]byte)}
+	c := &Coordinator{n: n, fs: fs, storage: storage, store: st, lag: lag, gen: make(map[int][]byte)}
 	c.atStep.Store(-1)
 	return c
 }
@@ -105,30 +120,38 @@ func (c *Coordinator) RequestCheckpointAtStep(s int) { c.atStep.Store(int64(s)) 
 // simulator's stand-in for the checkpoint signal.
 func (c *Coordinator) RequestCheckpoint() { c.asyncReq.Store(true) }
 
-// Storage exposes the checkpoint store.
+// Storage exposes the legacy flat image store (fault-injection tests).
 func (c *Coordinator) Storage() *fsim.Storage { return c.storage }
 
-// Taken reports how many complete checkpoints have been written.
+// Store exposes the generation-chained checkpoint store.
+func (c *Coordinator) Store() *ckptstore.Store { return c.store }
+
+// Taken reports how many complete checkpoints this coordinator wrote.
 func (c *Coordinator) Taken() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.taken
 }
 
-// Images returns the most recent complete image set, ordered by rank.
-// It returns an *IncompleteSetError when no generation has completed.
+// Images returns the most recent committed generation as full images
+// ordered by rank, materializing base+delta chains. It returns an
+// *IncompleteSetError when the store holds no complete generation.
 func (c *Coordinator) Images() ([][]byte, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.last == nil {
-		return nil, &IncompleteSetError{Have: len(c.gen), Want: c.n}
+	staged := len(c.gen)
+	c.mu.Unlock()
+	if _, ok := c.store.Head(); !ok {
+		return nil, &IncompleteSetError{Have: staged, Want: c.n}
 	}
-	return append([][]byte(nil), c.last...), nil
+	return c.store.MaterializeHead()
 }
 
 // Deliver records one rank's encoded image for the current generation.
 // A rank delivering twice into the same generation is a protocol
-// violation reported as *DoubleDeliverError.
+// violation reported as *DoubleDeliverError. The generation is
+// committed to the store only once every rank has delivered; a killed
+// rank therefore leaves nothing behind but staged bytes that die with
+// the coordinator.
 func (c *Coordinator) Deliver(rank int, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -145,7 +168,9 @@ func (c *Coordinator) Deliver(rank int, data []byte) error {
 		for r, img := range c.gen {
 			set[r] = img
 		}
-		c.last = set
+		if _, err := c.store.Commit(set); err != nil {
+			return fmt.Errorf("ckpt: committing generation: %w", err)
+		}
 		c.taken++
 		c.gen = make(map[int][]byte)
 	}

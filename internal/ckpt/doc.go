@@ -32,4 +32,19 @@
 // arbitrates the checkpoint boundary (the agreement protocol of
 // NextBoundary), and collects one image per rank per generation,
 // rejecting double delivery and incomplete sets with typed errors.
+//
+// Collected images land in a generation-chained checkpoint store
+// (internal/ckptstore): Deliver stages a rank's encoded image and
+// commits the generation only once every rank has delivered, so a rank
+// killed mid-checkpoint leaves nothing in the store — the staged bytes
+// die with the coordinator and Images keeps returning the last complete
+// generation (or *IncompleteSetError when none exists). Images
+// materializes base+delta chains back into full images, so the restart
+// path is oblivious to whether generations were written incrementally.
+// Rank-side encoding asks the store (Coordinator.Store) whether to
+// write a delta via PlanDelta; the dependency graph gains one edge:
+//
+//	core ──▶ ckpt ──▶ ckptstore ──▶ ckptimg
+//	          ▲
+//	          └── ckpt/drain (init-registered strategies)
 package ckpt

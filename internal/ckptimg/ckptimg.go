@@ -20,6 +20,7 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -27,6 +28,13 @@ import (
 	"manasim/internal/mpi"
 	"manasim/internal/vid"
 )
+
+// ErrCorrupt marks every decode failure caused by damaged image bytes —
+// truncation, checksum mismatch, torn or concatenated writes, flags that
+// contradict the payload. Callers distinguish "the image is broken"
+// (errors.Is(err, ErrCorrupt)) from structural misuse such as decoding a
+// delta image through Decode (ErrDeltaImage).
+var ErrCorrupt = errors.New("image corrupted")
 
 // Magic identifies a MANA checkpoint image.
 var Magic = [8]byte{'M', 'A', 'N', 'A', 'C', 'K', 'P', 'T'}
@@ -38,11 +46,20 @@ const Version uint32 = 3
 const VersionLegacy uint32 = 2
 
 // FlagGzip marks an image whose application-state section is
-// gzip-compressed.
+// gzip-compressed. On a delta image the flag applies per changed chunk:
+// each changed chunk's payload is gzipped independently, because chunk
+// boundaries must align with the parent's uncompressed chunk index.
 const FlagGzip uint32 = 1 << 0
 
+// FlagDelta marks an incremental image: the application state travels as
+// per-chunk delta records against a parent generation instead of raw
+// chunks. Delta images are decoded with DecodeDelta and materialized
+// against the parent's application state by Delta.Apply; Decode rejects
+// them with ErrDeltaImage.
+const FlagDelta uint32 = 1 << 1
+
 // knownFlags masks the header bits this build understands.
-const knownFlags = FlagGzip
+const knownFlags = FlagGzip | FlagDelta
 
 // AppChunk is the maximum payload of one application-state section:
 // large snapshots are split so each chunk is framed and checksummed
@@ -142,6 +159,19 @@ type Options struct {
 	// Compress gzips the application-state sections — the compression
 	// tier for images whose snapshots are mostly redundant bytes.
 	Compress bool
+	// ChunkSize overrides the application-state chunk size (default
+	// AppChunk). The checkpoint store shrinks it for small simulated
+	// snapshots so the delta tier works at the same chunks-per-image
+	// ratio a production-size image would have.
+	ChunkSize int
+}
+
+// chunkSize resolves the configured chunk size.
+func (o Options) chunkSize() int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	return AppChunk
 }
 
 // Encode serializes the image in the current format with default
@@ -175,11 +205,7 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 		return fmt.Errorf("ckptimg: encode header: %w", err)
 	}
 
-	if err := gobSection(w, secMeta, &meta{
-		Rank: img.Rank, NRanks: img.NRanks, Step: img.Step,
-		Impl: img.Impl, Design: img.Design,
-		UniformHandles: img.UniformHandles, ModeledBytes: img.ModeledBytes,
-	}); err != nil {
+	if err := writeMetaSection(w, img); err != nil {
 		return err
 	}
 
@@ -197,13 +223,31 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 	}
 	// Chunk the application state so each frame is bounded and
 	// independently checksummed.
-	for off := 0; off == 0 || off < len(app); off += AppChunk {
-		end := min(off+AppChunk, len(app))
+	cs := o.chunkSize()
+	for off := 0; off == 0 || off < len(app); off += cs {
+		end := min(off+cs, len(app))
 		if err := writeSection(w, secApp, app[off:end]); err != nil {
 			return err
 		}
 	}
+	return writeTailSections(w, img)
+}
 
+// writeMetaSection writes the META section shared by full and delta
+// images.
+func writeMetaSection(w io.Writer, img *Image) error {
+	return gobSection(w, secMeta, &meta{
+		Rank: img.Rank, NRanks: img.NRanks, Step: img.Step,
+		Impl: img.Impl, Design: img.Design,
+		UniformHandles: img.UniformHandles, ModeledBytes: img.ModeledBytes,
+	})
+}
+
+// writeTailSections writes the sections every image variant carries
+// after its application payload — vid store, drained messages, request
+// results, counters — and the end marker. A section added here reaches
+// full and delta images alike.
+func writeTailSections(w io.Writer, img *Image) error {
 	if err := gobSection(w, secStore, &img.Store); err != nil {
 		return err
 	}
@@ -217,6 +261,43 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 		return err
 	}
 	return writeSection(w, secEnd, nil)
+}
+
+// decodeCommonSection decodes one section shared by the full and delta
+// formats (META, STOR, DRNS, REQS, CNTR) into img, reporting whether
+// the tag was one of them.
+func decodeCommonSection(img *Image, tag uint32, payload []byte) (bool, error) {
+	switch tag {
+	case secMeta:
+		var m meta
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
+			return true, fmt.Errorf("ckptimg: decoding META section: %w", err)
+		}
+		img.Rank, img.NRanks, img.Step = m.Rank, m.NRanks, m.Step
+		img.Impl, img.Design = m.Impl, m.Design
+		img.UniformHandles, img.ModeledBytes = m.UniformHandles, m.ModeledBytes
+	case secStore:
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Store); err != nil {
+			return true, fmt.Errorf("ckptimg: decoding STOR section: %w", err)
+		}
+	case secDrained:
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Drained); err != nil {
+			return true, fmt.Errorf("ckptimg: decoding DRNS section: %w", err)
+		}
+	case secReqs:
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.ReqResults); err != nil {
+			return true, fmt.Errorf("ckptimg: decoding REQS section: %w", err)
+		}
+	case secCounters:
+		var c counters
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
+			return true, fmt.Errorf("ckptimg: decoding CNTR section: %w", err)
+		}
+		img.SentTo, img.RecvFrom = c.SentTo, c.RecvFrom
+	default:
+		return false, nil
+	}
+	return true, nil
 }
 
 // writeSection frames one section: tag, length, CRC-32, payload.
@@ -259,10 +340,10 @@ func Decode(data []byte) (*Image, error) { return DecodeFrom(bytes.NewReader(dat
 func DecodeFrom(r io.Reader) (*Image, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ckptimg: image truncated reading header: %w", err)
+		return nil, fmt.Errorf("ckptimg: image truncated reading header (%w): %w", ErrCorrupt, err)
 	}
 	if !bytes.Equal(hdr[:8], Magic[:]) {
-		return nil, fmt.Errorf("ckptimg: bad magic %q", hdr[:8])
+		return nil, fmt.Errorf("ckptimg: bad magic %q (%w)", hdr[:8], ErrCorrupt)
 	}
 	ver := binary.LittleEndian.Uint32(hdr[8:12])
 	switch ver {
@@ -276,6 +357,9 @@ func DecodeFrom(r io.Reader) (*Image, error) {
 	if flags&^knownFlags != 0 {
 		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
 	}
+	if flags&FlagDelta != 0 {
+		return nil, ErrDeltaImage
+	}
 
 	img := &Image{}
 	var appChunks [][]byte
@@ -285,67 +369,75 @@ func DecodeFrom(r io.Reader) (*Image, error) {
 		if err != nil {
 			return nil, err
 		}
+		if handled, err := decodeCommonSection(img, tag, payload); err != nil {
+			return nil, err
+		} else if handled {
+			sawMeta = sawMeta || tag == secMeta
+			continue
+		}
 		switch tag {
-		case secMeta:
-			var m meta
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
-				return nil, fmt.Errorf("ckptimg: decoding META section: %w", err)
-			}
-			img.Rank, img.NRanks, img.Step = m.Rank, m.NRanks, m.Step
-			img.Impl, img.Design = m.Impl, m.Design
-			img.UniformHandles, img.ModeledBytes = m.UniformHandles, m.ModeledBytes
-			sawMeta = true
 		case secApp:
 			appChunks = append(appChunks, payload)
-		case secStore:
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Store); err != nil {
-				return nil, fmt.Errorf("ckptimg: decoding STOR section: %w", err)
-			}
-		case secDrained:
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.Drained); err != nil {
-				return nil, fmt.Errorf("ckptimg: decoding DRNS section: %w", err)
-			}
-		case secReqs:
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&img.ReqResults); err != nil {
-				return nil, fmt.Errorf("ckptimg: decoding REQS section: %w", err)
-			}
-		case secCounters:
-			var c counters
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&c); err != nil {
-				return nil, fmt.Errorf("ckptimg: decoding CNTR section: %w", err)
-			}
-			img.SentTo, img.RecvFrom = c.SentTo, c.RecvFrom
 		case secEnd:
 			sawEnd = true
 		default:
-			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (image corrupted)", tag)
+			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (%w)", tag, ErrCorrupt)
 		}
 	}
 	if !sawMeta {
-		return nil, fmt.Errorf("ckptimg: image has no META section")
+		return nil, fmt.Errorf("ckptimg: image has no META section (%w)", ErrCorrupt)
 	}
 	// Nothing may follow the end marker: trailing bytes mean a torn or
 	// concatenated write (the v2 whole-body CRC caught this too).
 	var trail [1]byte
 	if n, err := io.ReadFull(r, trail[:]); n > 0 || err != io.EOF {
-		return nil, fmt.Errorf("ckptimg: trailing data after end marker (image corrupted)")
+		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
 	}
 	app := bytes.Join(appChunks, nil)
 	if flags&FlagGzip != 0 {
-		zr, err := gzip.NewReader(bytes.NewReader(app))
+		app2, err := gunzip(app)
 		if err != nil {
-			return nil, fmt.Errorf("ckptimg: decompressing app state: %w", err)
+			return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
 		}
-		app, err = io.ReadAll(zr)
-		if err != nil {
-			return nil, fmt.Errorf("ckptimg: decompressing app state: %w", err)
-		}
-		if err := zr.Close(); err != nil {
-			return nil, fmt.Errorf("ckptimg: decompressing app state: %w", err)
-		}
+		app = app2
 	}
 	if len(app) > 0 {
 		img.AppState = app
+	}
+	return img, nil
+}
+
+// PeekMeta decodes only the identity metadata of an image — full or
+// delta — by reading the header and the leading META section, never
+// touching the application payload. The checkpoint store uses it on
+// the commit path when it needs the step but no chunk indexing.
+func PeekMeta(data []byte) (*Image, error) {
+	r := bytes.NewReader(data)
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckptimg: image truncated reading header (%w): %w", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], Magic[:]) {
+		return nil, fmt.Errorf("ckptimg: bad magic %q (%w)", hdr[:8], ErrCorrupt)
+	}
+	switch ver := binary.LittleEndian.Uint32(hdr[8:12]); ver {
+	case VersionLegacy:
+		// The monolithic format has no sections to skip; decode it.
+		return decodeV2(hdr, r)
+	case Version:
+	default:
+		return nil, fmt.Errorf("ckptimg: unsupported image version %d (want %d or %d)", ver, Version, VersionLegacy)
+	}
+	tag, payload, err := readSection(r)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{}
+	if tag != secMeta {
+		return nil, fmt.Errorf("ckptimg: image does not lead with a META section (%w)", ErrCorrupt)
+	}
+	if _, err := decodeCommonSection(img, tag, payload); err != nil {
+		return nil, err
 	}
 	return img, nil
 }
@@ -354,23 +446,40 @@ func DecodeFrom(r io.Reader) (*Image, error) {
 func readSection(r io.Reader) (uint32, []byte, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("ckptimg: image truncated reading section header: %w", err)
+		return 0, nil, fmt.Errorf("ckptimg: image truncated reading section header (%w): %w", ErrCorrupt, err)
 	}
 	tag := binary.LittleEndian.Uint32(hdr[0:4])
 	size := binary.LittleEndian.Uint64(hdr[4:12])
 	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
 	const maxSection = 1 << 31
 	if size > maxSection {
-		return 0, nil, fmt.Errorf("ckptimg: %s section claims %d bytes (image corrupted)", tagName(tag), size)
+		return 0, nil, fmt.Errorf("ckptimg: %s section claims %d bytes (%w)", tagName(tag), size, ErrCorrupt)
 	}
 	payload := make([]byte, size)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("ckptimg: image truncated reading %s section: %w", tagName(tag), err)
+		return 0, nil, fmt.Errorf("ckptimg: image truncated reading %s section (%w): %w", tagName(tag), ErrCorrupt, err)
 	}
 	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return 0, nil, fmt.Errorf("ckptimg: %s section checksum mismatch (image corrupted): %08x != %08x", tagName(tag), got, wantCRC)
+		return 0, nil, fmt.Errorf("ckptimg: %s section checksum mismatch (%w): %08x != %08x", tagName(tag), ErrCorrupt, got, wantCRC)
 	}
 	return tag, payload, nil
+}
+
+// gunzip inflates one gzip stream, treating any inflate failure as
+// corruption (a gzip flag on non-gzip bytes, a damaged stream).
+func gunzip(data []byte) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------
@@ -401,14 +510,14 @@ func decodeV2(hdr [16]byte, r io.Reader) (*Image, error) {
 	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
 	body, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("ckptimg: reading v2 body: %w", err)
+		return nil, fmt.Errorf("ckptimg: reading v2 body (%w): %w", ErrCorrupt, err)
 	}
 	if got := crc32.ChecksumIEEE(body); got != wantCRC {
-		return nil, fmt.Errorf("ckptimg: checksum mismatch (image corrupted): %08x != %08x", got, wantCRC)
+		return nil, fmt.Errorf("ckptimg: checksum mismatch (%w): %08x != %08x", ErrCorrupt, got, wantCRC)
 	}
 	var img Image
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&img); err != nil {
-		return nil, fmt.Errorf("ckptimg: decode: %w", err)
+		return nil, fmt.Errorf("ckptimg: decode (%w): %w", ErrCorrupt, err)
 	}
 	return &img, nil
 }

@@ -1,0 +1,370 @@
+package ckptimg
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the incremental tier of the v3 image format
+// (arXiv:1906.05020: incremental checkpointing is the dominant cost
+// saver at high checkpoint frequency). A delta image carries every
+// section of a full image except the raw application state: instead of
+// APPS chunks it ships DCHK records that say, per fixed-size chunk of
+// the new application state, either "unchanged since the parent
+// generation" (proved by CRC match against the parent's chunk index) or
+// the new chunk bytes. Materializing a delta therefore needs the parent
+// generation's application state — the checkpoint store resolves the
+// base+delta chain; this package only defines the per-image format.
+
+// Delta section tags.
+const (
+	secDeltaMeta  uint32 = 0x444D4554 // "DMET": delta linkage metadata
+	secDeltaChunk uint32 = 0x4443484B // "DCHK": one app-state chunk record
+)
+
+// ErrDeltaImage reports that Decode was handed a delta image, which
+// cannot be materialized on its own; use DecodeDelta and resolve the
+// chain through the checkpoint store.
+var ErrDeltaImage = errors.New("ckptimg: image is an incremental delta (decode with DecodeDelta and resolve its parent chain)")
+
+// ChunkIndex is the per-chunk CRC index of one rank's application
+// state: the structure the checkpoint store keeps across generations so
+// the next delta can prove chunks unchanged without holding the parent
+// bytes.
+type ChunkIndex struct {
+	// ChunkBytes is the chunk size the index was computed with. Parent
+	// and child must agree; the store pins it per store.
+	ChunkBytes int
+	// Total is the application-state length in bytes.
+	Total int
+	// CRCs holds the CRC-32 of each chunk, in order. The last chunk may
+	// be short (Total % ChunkBytes).
+	CRCs []uint32
+}
+
+// chunkLen returns the byte length of chunk i.
+func (x ChunkIndex) chunkLen(i int) int {
+	return min(x.ChunkBytes, x.Total-i*x.ChunkBytes)
+}
+
+// IndexAppState computes the chunk-CRC index of an application state.
+// chunkBytes <= 0 selects AppChunk. An empty state indexes to zero
+// chunks.
+func IndexAppState(app []byte, chunkBytes int) ChunkIndex {
+	if chunkBytes <= 0 {
+		chunkBytes = AppChunk
+	}
+	x := ChunkIndex{ChunkBytes: chunkBytes, Total: len(app)}
+	for off := 0; off < len(app); off += chunkBytes {
+		end := min(off+chunkBytes, len(app))
+		x.CRCs = append(x.CRCs, crc32.ChecksumIEEE(app[off:end]))
+	}
+	return x
+}
+
+// deltaMeta is the DMET section payload: the chain linkage a delta
+// image needs to be applied safely.
+type deltaMeta struct {
+	// ParentGen is the store generation sequence number this delta was
+	// encoded against (diagnostics; the store validates the chain).
+	ParentGen int
+	// ParentLen is the parent application state's byte length; Apply
+	// refuses a parent of any other size.
+	ParentLen int
+	// NewLen is this image's application-state byte length.
+	NewLen int
+	// ChunkBytes is the chunk size of both indexes.
+	ChunkBytes int
+	// Chunks is the number of DCHK records that follow.
+	Chunks int
+}
+
+// DeltaChunk is one decoded chunk record.
+type DeltaChunk struct {
+	// CRC is the CRC-32 of the chunk's (uncompressed) content — the
+	// value the next generation's index carries for this chunk.
+	CRC uint32
+	// Data holds the new chunk bytes; nil marks a chunk unchanged since
+	// the parent generation.
+	Data []byte
+}
+
+// Delta is a decoded incremental image: every Image field except the
+// application state, plus the per-chunk records needed to rebuild it
+// from the parent generation's state.
+type Delta struct {
+	// Image carries the identity, vid store, drained messages, request
+	// results, and counters; Image.AppState is nil.
+	Image *Image
+	// ParentGen, ParentLen, NewLen, ChunkBytes mirror the DMET section.
+	ParentGen  int
+	ParentLen  int
+	NewLen     int
+	ChunkBytes int
+	// Chunks holds one record per chunk of the new application state.
+	Chunks []DeltaChunk
+}
+
+// DeltaStats summarizes one delta encode.
+type DeltaStats struct {
+	// Chunks is the total chunk count of the new application state.
+	Chunks int
+	// Changed is how many of them shipped bytes.
+	Changed int
+}
+
+// ChangedFraction reports the shipped fraction of the application
+// state, 1 when the image has no chunks (nothing was saved).
+func (s DeltaStats) ChangedFraction() float64 {
+	if s.Chunks == 0 {
+		return 1
+	}
+	return float64(s.Changed) / float64(s.Chunks)
+}
+
+// EncodeDelta serializes img as an incremental image against the parent
+// generation's chunk index: chunks whose CRC (and length) match the
+// parent ship as "unchanged" records, everything else ships its bytes.
+// parentGen names the parent generation for diagnostics and chain
+// validation. Options.Compress gzips each changed chunk independently;
+// Options.ChunkSize must be unset or equal to parent.ChunkBytes.
+func EncodeDelta(img *Image, parent ChunkIndex, parentGen int, o Options) ([]byte, DeltaStats, error) {
+	if parent.ChunkBytes <= 0 {
+		return nil, DeltaStats{}, fmt.Errorf("ckptimg: delta parent index has no chunk size")
+	}
+	if o.ChunkSize != 0 && o.ChunkSize != parent.ChunkBytes {
+		return nil, DeltaStats{}, fmt.Errorf("ckptimg: delta chunk size %d != parent index %d", o.ChunkSize, parent.ChunkBytes)
+	}
+	cs := parent.ChunkBytes
+
+	var buf bytes.Buffer
+	var hdr [16]byte
+	copy(hdr[:8], Magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	flags := FlagDelta
+	if o.Compress {
+		flags |= FlagGzip
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	buf.Write(hdr[:])
+
+	if err := writeMetaSection(&buf, img); err != nil {
+		return nil, DeltaStats{}, err
+	}
+
+	app := img.AppState
+	chunks := (len(app) + cs - 1) / cs
+	if err := gobSection(&buf, secDeltaMeta, &deltaMeta{
+		ParentGen: parentGen, ParentLen: parent.Total,
+		NewLen: len(app), ChunkBytes: cs, Chunks: chunks,
+	}); err != nil {
+		return nil, DeltaStats{}, err
+	}
+
+	st := DeltaStats{Chunks: chunks}
+	for i := 0; i < chunks; i++ {
+		off := i * cs
+		end := min(off+cs, len(app))
+		chunk := app[off:end]
+		crc := crc32.ChecksumIEEE(chunk)
+		unchanged := i < len(parent.CRCs) && parent.chunkLen(i) == len(chunk) && parent.CRCs[i] == crc
+
+		rec := make([]byte, 9, 9+len(chunk))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(i))
+		binary.LittleEndian.PutUint32(rec[5:9], crc)
+		if !unchanged {
+			rec[4] = 1
+			st.Changed++
+			data := chunk
+			if o.Compress {
+				var z bytes.Buffer
+				zw := gzip.NewWriter(&z)
+				if _, err := zw.Write(chunk); err != nil {
+					return nil, DeltaStats{}, fmt.Errorf("ckptimg: compressing delta chunk %d: %w", i, err)
+				}
+				if err := zw.Close(); err != nil {
+					return nil, DeltaStats{}, fmt.Errorf("ckptimg: compressing delta chunk %d: %w", i, err)
+				}
+				data = z.Bytes()
+			}
+			rec = append(rec, data...)
+		}
+		if err := writeSection(&buf, secDeltaChunk, rec); err != nil {
+			return nil, DeltaStats{}, err
+		}
+	}
+
+	if err := writeTailSections(&buf, img); err != nil {
+		return nil, DeltaStats{}, err
+	}
+	return buf.Bytes(), st, nil
+}
+
+// IsDelta reports whether data begins with a v3 delta-image header. It
+// never errors: malformed prefixes simply report false and fail later
+// in the real decode.
+func IsDelta(data []byte) bool {
+	if len(data) < 16 || !bytes.Equal(data[:8], Magic[:]) {
+		return false
+	}
+	return binary.LittleEndian.Uint32(data[8:12]) == Version &&
+		binary.LittleEndian.Uint32(data[12:16])&FlagDelta != 0
+}
+
+// DecodeDelta validates and deserializes a delta image.
+func DecodeDelta(data []byte) (*Delta, error) {
+	r := bytes.NewReader(data)
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ckptimg: image truncated reading header (%w): %w", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], Magic[:]) {
+		return nil, fmt.Errorf("ckptimg: bad magic %q (%w)", hdr[:8], ErrCorrupt)
+	}
+	if ver := binary.LittleEndian.Uint32(hdr[8:12]); ver != Version {
+		return nil, fmt.Errorf("ckptimg: unsupported delta image version %d (want %d)", ver, Version)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^knownFlags != 0 {
+		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
+	}
+	if flags&FlagDelta == 0 {
+		return nil, fmt.Errorf("ckptimg: not a delta image (decode with Decode)")
+	}
+
+	d := &Delta{Image: &Image{}}
+	img := d.Image
+	var dm *deltaMeta
+	var seenChunks []bool
+	var sawMeta, sawEnd bool
+	for !sawEnd {
+		tag, payload, err := readSection(r)
+		if err != nil {
+			return nil, err
+		}
+		if handled, err := decodeCommonSection(img, tag, payload); err != nil {
+			return nil, err
+		} else if handled {
+			sawMeta = sawMeta || tag == secMeta
+			continue
+		}
+		switch tag {
+		case secDeltaMeta:
+			dm = &deltaMeta{}
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(dm); err != nil {
+				return nil, fmt.Errorf("ckptimg: decoding DMET section: %w", err)
+			}
+			if dm.ChunkBytes <= 0 || dm.NewLen < 0 || dm.ParentLen < 0 ||
+				dm.Chunks != (dm.NewLen+dm.ChunkBytes-1)/dm.ChunkBytes {
+				return nil, fmt.Errorf("ckptimg: inconsistent DMET section (%w)", ErrCorrupt)
+			}
+			d.ParentGen, d.ParentLen = dm.ParentGen, dm.ParentLen
+			d.NewLen, d.ChunkBytes = dm.NewLen, dm.ChunkBytes
+			d.Chunks = make([]DeltaChunk, dm.Chunks)
+			seenChunks = make([]bool, dm.Chunks)
+		case secDeltaChunk:
+			if dm == nil {
+				return nil, fmt.Errorf("ckptimg: DCHK section before DMET (%w)", ErrCorrupt)
+			}
+			if len(payload) < 9 {
+				return nil, fmt.Errorf("ckptimg: short DCHK record (%w)", ErrCorrupt)
+			}
+			i := int(binary.LittleEndian.Uint32(payload[0:4]))
+			if i < 0 || i >= len(d.Chunks) {
+				return nil, fmt.Errorf("ckptimg: DCHK chunk index %d of %d (%w)", i, len(d.Chunks), ErrCorrupt)
+			}
+			if seenChunks[i] {
+				return nil, fmt.Errorf("ckptimg: duplicate DCHK record for chunk %d (%w)", i, ErrCorrupt)
+			}
+			seenChunks[i] = true
+			ch := DeltaChunk{CRC: binary.LittleEndian.Uint32(payload[5:9])}
+			if payload[4] != 0 {
+				data := payload[9:]
+				if flags&FlagGzip != 0 {
+					var err error
+					data, err = gunzip(data)
+					if err != nil {
+						return nil, fmt.Errorf("ckptimg: decompressing delta chunk %d (%w): %w", i, ErrCorrupt, err)
+					}
+				}
+				if crc32.ChecksumIEEE(data) != ch.CRC {
+					return nil, fmt.Errorf("ckptimg: delta chunk %d content checksum mismatch (%w)", i, ErrCorrupt)
+				}
+				ch.Data = data
+			}
+			d.Chunks[i] = ch
+		case secEnd:
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (%w)", tag, ErrCorrupt)
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("ckptimg: image has no META section (%w)", ErrCorrupt)
+	}
+	if dm == nil {
+		return nil, fmt.Errorf("ckptimg: delta image has no DMET section (%w)", ErrCorrupt)
+	}
+	// A cleanly dropped DCHK section still parses frame-by-frame; the
+	// count check catches it here instead of a misleading parent-CRC
+	// failure (or silent stale bytes) at Apply time.
+	for i, seen := range seenChunks {
+		if !seen {
+			return nil, fmt.Errorf("ckptimg: delta is missing the DCHK record for chunk %d (%w)", i, ErrCorrupt)
+		}
+	}
+	if r.Len() > 0 {
+		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
+	}
+	return d, nil
+}
+
+// Apply materializes the full image by filling unchanged chunks from
+// the parent generation's application state. Every chunk — copied or
+// shipped — is verified against its recorded CRC, so applying a delta
+// to the wrong parent fails instead of silently producing garbage.
+func (d *Delta) Apply(parentApp []byte) (*Image, error) {
+	if len(parentApp) != d.ParentLen {
+		return nil, fmt.Errorf("ckptimg: delta parent is %d bytes, image expects %d (wrong generation?)", len(parentApp), d.ParentLen)
+	}
+	app := make([]byte, 0, d.NewLen)
+	for i, ch := range d.Chunks {
+		off := i * d.ChunkBytes
+		want := min(d.ChunkBytes, d.NewLen-off)
+		chunk := ch.Data
+		if chunk == nil {
+			if off+want > len(parentApp) {
+				return nil, fmt.Errorf("ckptimg: unchanged chunk %d outside parent state (%w)", i, ErrCorrupt)
+			}
+			chunk = parentApp[off : off+want]
+			if crc32.ChecksumIEEE(chunk) != ch.CRC {
+				return nil, fmt.Errorf("ckptimg: parent chunk %d checksum mismatch (wrong generation?)", i)
+			}
+		}
+		if len(chunk) != want {
+			return nil, fmt.Errorf("ckptimg: delta chunk %d is %d bytes, want %d (%w)", i, len(chunk), want, ErrCorrupt)
+		}
+		app = append(app, chunk...)
+	}
+	img := *d.Image
+	if len(app) > 0 {
+		img.AppState = app
+	}
+	return &img, nil
+}
+
+// Index returns the chunk-CRC index of the delta's application state —
+// what the store records for this generation without materializing it.
+func (d *Delta) Index() ChunkIndex {
+	x := ChunkIndex{ChunkBytes: d.ChunkBytes, Total: d.NewLen}
+	for _, ch := range d.Chunks {
+		x.CRCs = append(x.CRCs, ch.CRC)
+	}
+	return x
+}

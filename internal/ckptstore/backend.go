@@ -1,0 +1,229 @@
+package ckptstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Backend is the persistence layer under a Store: a flat key/blob
+// namespace. Keys are store-generated ("gen0003/rank02", "manifest")
+// and contain at most one '/'. Implementations must be safe for
+// concurrent use.
+type Backend interface {
+	// Name reports the registered backend name.
+	Name() string
+	// Put stores a blob under key, replacing any previous value. The
+	// blob must be durable (or a faithful copy) when Put returns.
+	Put(key string, data []byte) error
+	// Get retrieves a blob copy; a missing key is an error.
+	Get(key string) ([]byte, error)
+	// List returns all stored keys in sorted order.
+	List() ([]string, error)
+	// Delete removes a blob; deleting a missing key is not an error.
+	Delete(key string) error
+}
+
+// DefaultBackend is used when Options.Backend is empty.
+const DefaultBackend = "mem"
+
+var (
+	backendMu  sync.Mutex
+	backendReg = map[string]func(dir string) (Backend, error){}
+)
+
+// RegisterBackend registers a backend factory under name. dir is the
+// Options.Dir value; backends without an on-disk root ignore it.
+func RegisterBackend(name string, f func(dir string) (Backend, error)) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendReg[name]; dup {
+		panic(fmt.Sprintf("ckptstore: backend %q registered twice", name))
+	}
+	backendReg[name] = f
+}
+
+// NewBackend instantiates the backend registered under name; the empty
+// string selects DefaultBackend.
+func NewBackend(name, dir string) (Backend, error) {
+	if name == "" {
+		name = DefaultBackend
+	}
+	backendMu.Lock()
+	f, ok := backendReg[name]
+	backendMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("ckptstore: unknown backend %q (have %v)", name, BackendNames())
+	}
+	return f(dir)
+}
+
+// BackendNames lists the registered backends in sorted order.
+func BackendNames() []string {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	out := make([]string, 0, len(backendReg))
+	for n := range backendReg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterBackend("mem", func(string) (Backend, error) { return newMemBackend(), nil })
+	RegisterBackend("fs", newFSBackend)
+}
+
+// ---------------------------------------------------------------------
+// mem: in-process blobs
+
+type memBackend struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func newMemBackend() *memBackend { return &memBackend{blobs: make(map[string][]byte)} }
+
+func (b *memBackend) Name() string { return "mem" }
+
+func (b *memBackend) Put(key string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.blobs[key] = append([]byte(nil), data...)
+	return nil
+}
+
+func (b *memBackend) Get(key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("ckptstore: no blob %q", key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+func (b *memBackend) List() ([]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.blobs))
+	for k := range b.blobs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *memBackend) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.blobs, key)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// fs: one file per key under a root directory
+
+type fsBackend struct {
+	root string
+	mu   sync.Mutex
+}
+
+func newFSBackend(dir string) (Backend, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckptstore: fs backend needs a directory (Options.Dir / --ckpt-dir)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckptstore: creating %s: %w", dir, err)
+	}
+	return &fsBackend{root: dir}, nil
+}
+
+func (b *fsBackend) Name() string { return "fs" }
+
+// path maps a key to a file path, refusing traversal outside the root.
+func (b *fsBackend) path(key string) (string, error) {
+	if key == "" || strings.Contains(key, "..") || strings.HasPrefix(key, "/") {
+		return "", fmt.Errorf("ckptstore: bad key %q", key)
+	}
+	return filepath.Join(b.root, filepath.FromSlash(key)), nil
+}
+
+func (b *fsBackend) Put(key string, data []byte) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	// Temp file + rename: a torn write never leaves a half image under
+	// the final name.
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("ckptstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckptstore: writing %q: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckptstore: writing %q: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("ckptstore: publishing %q: %w", key, err)
+	}
+	return nil
+}
+
+func (b *fsBackend) Get(key string) ([]byte, error) {
+	p, err := b.path(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: no blob %q: %w", key, err)
+	}
+	return data, nil
+}
+
+func (b *fsBackend) List() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(b.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return err
+		}
+		rel, err := filepath.Rel(b.root, p)
+		if err != nil {
+			return err
+		}
+		out = append(out, filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: listing %s: %w", b.root, err)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (b *fsBackend) Delete(key string) error {
+	p, err := b.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ckptstore: deleting %q: %w", key, err)
+	}
+	return nil
+}

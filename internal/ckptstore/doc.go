@@ -1,0 +1,54 @@
+// Package ckptstore is the generation-chained checkpoint store: the
+// persistence layer between the checkpoint coordinator and the restart
+// path. It turns "a checkpoint happened" into "a checkpoint is stored,
+// versioned, and cheap".
+//
+// # Generations and the delta chain
+//
+// Every completed job checkpoint commits one Generation: a sequence
+// number, the checkpoint boundary step, and one encoded image per rank.
+// A generation is either a base — every rank stored a full v3 image —
+// or a delta: ranks whose application state could be diffed stored an
+// incremental image (ckptimg.FlagDelta) that records, per fixed-size
+// app-state chunk, "unchanged since the parent generation" or the new
+// chunk bytes. The store keeps each rank's chunk-CRC index
+// (ckptimg.ChunkIndex) across generations, so a rank can encode the
+// next delta without the store holding the parent bytes in memory.
+//
+// The chain is strictly sequential: generation g's deltas are always
+// encoded against generation g-1. Options.ChainCap bounds the number of
+// consecutive delta generations; once the cap is reached PlanDelta
+// forces the next generation to be a new base, bounding restart's chain
+// resolution (and the blast radius of a damaged delta).
+//
+// Restart never sees deltas: Materialize resolves each rank's chain —
+// walk back to the nearest base, apply the deltas forward, verify every
+// chunk CRC — and returns ordinary full images that ckptimg.Decode and
+// the existing restart path consume unchanged. A base generation's
+// images are returned bit-for-bit as stored.
+//
+// Ranks that deliver bytes the store cannot parse as images are stored
+// verbatim as opaque full payloads (their index is dropped and the next
+// generation falls back to a base for that rank): indexing is an
+// optimization, never a reason to fail a checkpoint.
+//
+// # Backends
+//
+// Persistence is pluggable behind the Backend interface — a flat
+// key/blob namespace — with the same init-registered factory pattern as
+// ckpt.DrainStrategy:
+//
+//   - "mem" keeps blobs in process memory (tests, benchmarks, the
+//     default for in-process restart).
+//   - "fs" lays blobs out under a root directory (Options.Dir), one
+//     file per key, written via a temp file + rename so a torn write
+//     never leaves a half image under the final name.
+//
+// The store persists a manifest blob (generation metadata, per-rank
+// chunk indexes, chain length) after every commit, so Open on an "fs"
+// directory written by an earlier process resumes the chain: the next
+// generation deltas against the last committed one.
+//
+// Register custom backends (an object store, a burst buffer model) with
+// RegisterBackend; Options.Backend selects one by name.
+package ckptstore

@@ -1,0 +1,360 @@
+package ckptstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+
+	"manasim/internal/ckptimg"
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// Backend names the registered persistence backend (default
+	// DefaultBackend, the in-memory store).
+	Backend string
+	// Dir is the root directory of directory-backed backends ("fs").
+	Dir string
+	// Delta enables incremental generations: after a base, ranks whose
+	// chunk index is known write delta images until ChainCap is hit.
+	Delta bool
+	// ChainCap bounds consecutive delta generations before a new base
+	// is forced (default 4; <0 means unbounded).
+	ChainCap int
+	// ChunkBytes is the delta chunk size (default ckptimg.AppChunk).
+	// All generations of one store share it.
+	ChunkBytes int
+	// Compress gzips image app state (full images whole, delta images
+	// per changed chunk).
+	Compress bool
+}
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if o.Backend == "" {
+		o.Backend = DefaultBackend
+	}
+	if o.ChainCap == 0 {
+		o.ChainCap = 4
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = ckptimg.AppChunk
+	}
+	return o
+}
+
+// Generation is the metadata of one committed job checkpoint.
+type Generation struct {
+	// Seq is the generation sequence number (0-based, dense).
+	Seq int
+	// Step is the checkpoint boundary the generation was taken at (-1
+	// when no image could be parsed).
+	Step int
+	// Bytes is the total encoded size across ranks — what the backend
+	// actually stored, the quantity the delta tier shrinks.
+	Bytes int64
+	// DeltaRanks counts ranks that stored an incremental image; 0 means
+	// the generation is a base.
+	DeltaRanks int
+}
+
+// Base reports whether the generation is a full base.
+func (g Generation) Base() bool { return g.DeltaRanks == 0 }
+
+// rankIndex is one rank's chunk index at the head generation; Valid is
+// false when the rank's last image could not be indexed (opaque bytes).
+type rankIndex struct {
+	Valid bool
+	X     ckptimg.ChunkIndex
+}
+
+// manifest is the persisted store state, rewritten after every commit
+// so a new process resuming on the same backend continues the chain.
+type manifest struct {
+	N          int
+	ChunkBytes int
+	Gens       []Generation
+	Chain      int // consecutive delta generations at the head
+	Index      []rankIndex
+}
+
+const manifestKey = "manifest"
+
+// Store is a generation-chained checkpoint store for one n-rank job
+// lineage. All methods are safe for concurrent use by rank goroutines.
+type Store struct {
+	mu   sync.Mutex
+	b    Backend
+	n    int
+	opts Options
+
+	gens  []Generation
+	chain int
+	index []rankIndex
+}
+
+// Open builds a store for an n-rank job over the configured backend.
+// If the backend already holds a manifest (a directory written by an
+// earlier process), the generation chain is resumed from it.
+func Open(n int, o Options) (*Store, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ckptstore: store needs a positive rank count, got %d", n)
+	}
+	o = o.withDefaults()
+	b, err := NewBackend(o.Backend, o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{b: b, n: n, opts: o, index: make([]rankIndex, n)}
+	if data, err := b.Get(manifestKey); err == nil {
+		var m manifest
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+			return nil, fmt.Errorf("ckptstore: decoding manifest: %w", err)
+		}
+		if m.N != n {
+			return nil, fmt.Errorf("ckptstore: backend holds a %d-rank lineage, job has %d ranks", m.N, n)
+		}
+		if m.ChunkBytes != o.ChunkBytes {
+			return nil, fmt.Errorf("ckptstore: backend chunk size %d != configured %d", m.ChunkBytes, o.ChunkBytes)
+		}
+		s.gens, s.chain, s.index = m.Gens, m.Chain, m.Index
+	}
+	return s, nil
+}
+
+// MustOpen is Open for callers whose options are statically valid.
+func MustOpen(n int, o Options) *Store {
+	s, err := Open(n, o)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Ranks reports the store's rank count.
+func (s *Store) Ranks() int { return s.n }
+
+// BackendName reports the backend in use.
+func (s *Store) BackendName() string { return s.b.Name() }
+
+// Opts reports the resolved options.
+func (s *Store) Opts() Options { return s.opts }
+
+// key names one rank image blob.
+func key(seq, rank int) string { return fmt.Sprintf("gen%04d/rank%02d", seq, rank) }
+
+// PlanDelta decides how a rank should encode the next generation. When
+// it returns ok, the rank encodes a delta with ckptimg.EncodeDelta
+// against the returned parent index and generation; otherwise it writes
+// a full image. Delta is refused when the store is not in delta mode,
+// no generation is committed yet, the chain cap is reached, or the
+// rank's head image could not be indexed.
+func (s *Store) PlanDelta(rank int) (parent ckptimg.ChunkIndex, parentGen int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.opts.Delta || rank < 0 || rank >= s.n || len(s.gens) == 0 {
+		return ckptimg.ChunkIndex{}, 0, false
+	}
+	if s.opts.ChainCap >= 0 && s.chain >= s.opts.ChainCap {
+		return ckptimg.ChunkIndex{}, 0, false
+	}
+	ri := s.index[rank]
+	if !ri.Valid {
+		return ckptimg.ChunkIndex{}, 0, false
+	}
+	return ri.X, s.gens[len(s.gens)-1].Seq, true
+}
+
+// EncodeOptions returns the ckptimg options matching the store's
+// configuration, so rank-side encodes chunk at the store's granularity.
+func (s *Store) EncodeOptions() ckptimg.Options {
+	return ckptimg.Options{Compress: s.opts.Compress, ChunkSize: s.opts.ChunkBytes}
+}
+
+// Commit records one complete generation: exactly one encoded image per
+// rank, full or delta. The store never sees partial generations — the
+// coordinator stages deliveries and commits only complete sets. Images
+// that parse update the rank's chunk index; opaque payloads are stored
+// verbatim and drop the rank's index (the next generation falls back to
+// a base for that rank).
+func (s *Store) Commit(images [][]byte) (Generation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(images) != s.n {
+		return Generation{}, fmt.Errorf("ckptstore: commit of %d images for a %d-rank store", len(images), s.n)
+	}
+	seq := len(s.gens)
+	gen := Generation{Seq: seq, Step: -1}
+	newIndex := make([]rankIndex, s.n)
+	for r, data := range images {
+		if data == nil {
+			return Generation{}, fmt.Errorf("ckptstore: commit with no image for rank %d", r)
+		}
+		gen.Bytes += int64(len(data))
+		switch {
+		case ckptimg.IsDelta(data):
+			d, err := ckptimg.DecodeDelta(data)
+			if err != nil {
+				return Generation{}, fmt.Errorf("ckptstore: rank %d delta: %w", r, err)
+			}
+			if seq == 0 || d.ParentGen != seq-1 {
+				return Generation{}, fmt.Errorf("ckptstore: rank %d delta parents generation %d, head is %d", r, d.ParentGen, seq-1)
+			}
+			if d.ChunkBytes != s.opts.ChunkBytes {
+				return Generation{}, fmt.Errorf("ckptstore: rank %d delta chunk size %d != store %d", r, d.ChunkBytes, s.opts.ChunkBytes)
+			}
+			if gen.Step < 0 {
+				gen.Step = d.Image.Step
+			}
+			gen.DeltaRanks++
+			newIndex[r] = rankIndex{Valid: true, X: d.Index()}
+		case !s.opts.Delta:
+			// No delta tier: the index would never be consulted, so a
+			// cheap META peek (step only, first parseable image) keeps
+			// the commit path from decoding — and possibly
+			// decompressing — every image.
+			if gen.Step < 0 {
+				if img, err := ckptimg.PeekMeta(data); err == nil {
+					gen.Step = img.Step
+				}
+			}
+			newIndex[r] = rankIndex{}
+		default:
+			img, err := ckptimg.Decode(data)
+			if err != nil {
+				// Opaque payload: store it, forget the rank's index.
+				newIndex[r] = rankIndex{}
+				break
+			}
+			if gen.Step < 0 {
+				gen.Step = img.Step
+			}
+			newIndex[r] = rankIndex{Valid: true, X: ckptimg.IndexAppState(img.AppState, s.opts.ChunkBytes)}
+		}
+	}
+	for r, data := range images {
+		if err := s.b.Put(key(seq, r), data); err != nil {
+			return Generation{}, err
+		}
+	}
+	s.gens = append(s.gens, gen)
+	s.index = newIndex
+	if gen.DeltaRanks > 0 {
+		s.chain++
+	} else {
+		s.chain = 0
+	}
+	if err := s.persistManifest(); err != nil {
+		return Generation{}, err
+	}
+	return gen, nil
+}
+
+// persistManifest rewrites the manifest blob; the caller holds s.mu.
+func (s *Store) persistManifest() error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&manifest{
+		N: s.n, ChunkBytes: s.opts.ChunkBytes,
+		Gens: s.gens, Chain: s.chain, Index: s.index,
+	}); err != nil {
+		return fmt.Errorf("ckptstore: encoding manifest: %w", err)
+	}
+	return s.b.Put(manifestKey, buf.Bytes())
+}
+
+// Generations lists the committed generations in order.
+func (s *Store) Generations() []Generation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Generation(nil), s.gens...)
+}
+
+// Head reports the most recent committed generation.
+func (s *Store) Head() (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.gens) == 0 {
+		return Generation{}, false
+	}
+	return s.gens[len(s.gens)-1], true
+}
+
+// Materialize returns full encoded images — one per rank, restartable
+// with ckptimg.Decode — for the given generation, resolving each rank's
+// base+delta chain. Base images are returned bit-for-bit as stored.
+func (s *Store) Materialize(seq int) ([][]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq < 0 || seq >= len(s.gens) {
+		return nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, len(s.gens))
+	}
+	out := make([][]byte, s.n)
+	for r := 0; r < s.n; r++ {
+		data, err := s.materializeRank(seq, r)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = data
+	}
+	return out, nil
+}
+
+// MaterializeHead materializes the most recent generation.
+func (s *Store) MaterializeHead() ([][]byte, error) {
+	s.mu.Lock()
+	n := len(s.gens)
+	s.mu.Unlock()
+	if n == 0 {
+		return nil, fmt.Errorf("ckptstore: store has no generations")
+	}
+	return s.Materialize(n - 1)
+}
+
+// materializeRank resolves one rank's chain at seq; the caller holds
+// s.mu.
+func (s *Store) materializeRank(seq, rank int) ([]byte, error) {
+	data, err := s.b.Get(key(seq, rank))
+	if err != nil {
+		return nil, err
+	}
+	if !ckptimg.IsDelta(data) {
+		return data, nil
+	}
+	// Walk back to the rank's nearest base, stacking deltas.
+	var deltas []*ckptimg.Delta
+	cur := seq
+	for ckptimg.IsDelta(data) {
+		d, err := ckptimg.DecodeDelta(data)
+		if err != nil {
+			return nil, fmt.Errorf("ckptstore: generation %d rank %d: %w", cur, rank, err)
+		}
+		if d.ParentGen != cur-1 {
+			return nil, fmt.Errorf("ckptstore: generation %d rank %d delta parents %d, want %d", cur, rank, d.ParentGen, cur-1)
+		}
+		deltas = append(deltas, d)
+		cur--
+		if cur < 0 {
+			return nil, fmt.Errorf("ckptstore: rank %d delta chain has no base", rank)
+		}
+		data, err = s.b.Get(key(cur, rank))
+		if err != nil {
+			return nil, err
+		}
+	}
+	base, err := ckptimg.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("ckptstore: generation %d rank %d base: %w", cur, rank, err)
+	}
+	// Apply the deltas forward, oldest first.
+	app := base.AppState
+	var img *ckptimg.Image
+	for i := len(deltas) - 1; i >= 0; i-- {
+		img, err = deltas[i].Apply(app)
+		if err != nil {
+			return nil, fmt.Errorf("ckptstore: materializing generation %d rank %d: %w", seq-i, rank, err)
+		}
+		app = img.AppState
+	}
+	return ckptimg.EncodeOpts(img, s.EncodeOptions())
+}

@@ -87,9 +87,11 @@ func (r *Runtime) doCheckpoint(step int) error {
 	if err != nil {
 		return err
 	}
+	drainStart := r.clock.Now()
 	if err := r.drain.Drain(env); err != nil {
 		return fmt.Errorf("mana: drain (%s): %w", r.drain.Name(), err)
 	}
+	r.drainVT += r.clock.Now() - drainStart
 
 	// Phase 4: under the decode strategy, rewrite datatype descriptors
 	// from the lower half's decode functions (Section 5 category 2).
@@ -222,8 +224,12 @@ func (r *Runtime) decodeDtypeDescriptors() error {
 	return nil
 }
 
-// buildImage serializes the rank's upper half. It returns the encoded
-// bytes and the total (real + modeled) size for the filesystem model.
+// buildImage serializes the rank's upper half — as an incremental delta
+// when the checkpoint store can prove chunks unchanged against the
+// parent generation, as a full image otherwise. It returns the encoded
+// bytes and the total (real + modeled) size for the filesystem model;
+// for a delta, the modeled working set is scaled by the shipped chunk
+// fraction, since a production delta writes only the changed pages.
 func (r *Runtime) buildImage(step int) ([]byte, int64, error) {
 	appState, err := r.snapshotFn()
 	if err != nil {
@@ -251,7 +257,18 @@ func (r *Runtime) buildImage(step int) ([]byte, int64, error) {
 		img.ReqResults = append(img.ReqResults, ckptimg.ReqResult{Virt: virt, St: st})
 	}
 	sort.Slice(img.ReqResults, func(i, j int) bool { return img.ReqResults[i].Virt < img.ReqResults[j].Virt })
-	data, err := ckptimg.EncodeOpts(img, ckptimg.Options{Compress: r.cfg.CompressImages})
+
+	cs := r.co.Store()
+	opts := cs.EncodeOptions()
+	if parent, parentGen, ok := cs.PlanDelta(r.rank); ok {
+		data, stats, err := ckptimg.EncodeDelta(img, parent, parentGen, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		charged := int64(float64(modeled) * stats.ChangedFraction())
+		return data, int64(len(data)) + charged, nil
+	}
+	data, err := ckptimg.EncodeOpts(img, opts)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -76,6 +76,13 @@ func (r *Runtime) newDrainEnv() (drainEnv, error) {
 	return drainEnv{ctlLink: ctlLink{r}, byteDt: byteDt}, nil
 }
 
+// CtlSend implements ckpt.CtlLink for the drain, counting each control
+// message toward Stats.CtlMsgs before delegating to the link.
+func (e drainEnv) CtlSend(dest, tag int, vals []int64) error {
+	e.r.ctlMsgs++
+	return e.ctlLink.CtlSend(dest, tag, vals)
+}
+
 // Rank implements ckpt.DrainEnv.
 func (e drainEnv) Rank() int { return e.r.rank }
 
@@ -89,9 +96,12 @@ func (e drainEnv) SentTo() []uint64 { return e.r.sentTo }
 func (e drainEnv) RecvFrom() []uint64 { return e.r.recvFrom }
 
 // ExchangeAll implements ckpt.DrainEnv: the MPI_Alltoall of cumulative
-// counters over the internal communicator (Section 5, category 3).
+// counters over the internal communicator (Section 5, category 3). The
+// collective counts as size-1 control messages — one counter slot
+// shipped to every peer.
 func (e drainEnv) ExchangeAll(vals []uint64) ([]uint64, error) {
 	r := e.r
+	r.ctlMsgs += uint64(r.size - 1)
 	u64, err := r.lower.LookupConst(mpi.ConstUint64)
 	if err != nil {
 		return nil, err

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"manasim/internal/ckpt"
+	"manasim/internal/ckptstore"
 	"manasim/internal/cluster"
 	"manasim/internal/fsim"
 	"manasim/internal/simtime"
@@ -82,8 +83,18 @@ type Config struct {
 	// registered by internal/ckpt/drain.
 	DrainStrategy string
 	// CompressImages gzips the application-state sections of checkpoint
-	// images (ckptimg format v3).
+	// images (ckptimg format v3). When Store is set, the store's own
+	// Compress option governs instead.
 	CompressImages bool
+	// Store is the generation-chained checkpoint store the job delivers
+	// into and restarts from. Nil gets a fresh in-memory store whose
+	// delta and compression modes follow DeltaImages / CompressImages;
+	// passing the same store across a run/restart chain makes later
+	// generations delta against earlier ones.
+	Store *ckptstore.Store
+	// DeltaImages enables incremental checkpoint images when Store is
+	// nil (ckptstore.Options.Delta on the implicit store).
+	DeltaImages bool
 }
 
 // withDefaults fills unset fields.
@@ -107,6 +118,19 @@ func (c Config) withDefaults() (Config, error) {
 		c.DrainStrategy = ckpt.DefaultDrain
 	}
 	return c, nil
+}
+
+// ckptStoreFor resolves the checkpoint store an n-rank job delivers
+// into: the configured one (validated against the job geometry) or a
+// fresh in-memory store following the config's delta/compression modes.
+func (c Config) ckptStoreFor(n int) (*ckptstore.Store, error) {
+	if c.Store != nil {
+		if c.Store.Ranks() != n {
+			return nil, fmt.Errorf("mana: checkpoint store is for %d ranks, job has %d", c.Store.Ranks(), n)
+		}
+		return c.Store, nil
+	}
+	return ckptstore.Open(n, ckptstore.Options{Delta: c.DeltaImages, Compress: c.CompressImages})
 }
 
 // newStore builds the configured vid store for a lower half with the

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"manasim/internal/app"
+	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
+	"manasim/internal/ckptstore"
 	"manasim/internal/cluster"
 	"manasim/internal/mpi"
 	"manasim/internal/simtime"
@@ -28,6 +30,14 @@ type Stats struct {
 	WrapperCalls uint64
 	// CkptTaken is the number of complete checkpoints written.
 	CkptTaken int
+	// DrainVT is the virtual time the configured drain strategy spent
+	// reconciling in-flight messages, cumulative over checkpoints and
+	// maximized over ranks (the slowest rank gates the cut).
+	DrainVT time.Duration
+	// CtlMsgs is the total number of drain control messages the ranks
+	// sent over MANA's internal communicator (counter announcements and
+	// Alltoall slots) — the protocol cost the drain experiment reports.
+	CtlMsgs uint64
 	// Stopped reports that the job exited at a checkpoint (preemption).
 	Stopped bool
 	// Checksums holds each rank's application checksum (correctness
@@ -47,16 +57,21 @@ type Session struct {
 	stopped   []bool
 }
 
-// StartJob launches an n-rank application under MANA.
+// StartJob launches an n-rank application under MANA. Checkpoints are
+// delivered into cfg.Store (or a fresh in-memory store when nil).
 func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
 	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.ckptStoreFor(n)
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{
 		cfg:       cfg,
 		n:         n,
-		Co:        NewCoordinator(n, cfg.FS, nil, cfg.SkewBound),
+		Co:        ckpt.NewStoreCoordinator(n, cfg.FS, nil, st, cfg.SkewBound),
 		runtimes:  make([]*Runtime, n),
 		checksums: make([]uint64, n),
 		stopped:   make([]bool, n),
@@ -99,10 +114,14 @@ func RestartJob(cfg Config, images [][]byte, factory app.Factory) (*Session, err
 	}
 	n := imgs[0].NRanks
 
+	st, err := cfg.ckptStoreFor(n)
+	if err != nil {
+		return nil, err
+	}
 	s := &Session{
 		cfg:       cfg,
 		n:         n,
-		Co:        NewCoordinator(n, cfg.FS, nil, cfg.SkewBound),
+		Co:        ckpt.NewStoreCoordinator(n, cfg.FS, nil, st, cfg.SkewBound),
 		runtimes:  make([]*Runtime, n),
 		checksums: make([]uint64, n),
 		stopped:   make([]bool, n),
@@ -165,6 +184,9 @@ func (s *Session) runRank(rt *Runtime, inst app.Instance, rank, startStep int, f
 	return nil
 }
 
+// Store exposes the checkpoint store the session delivers into.
+func (s *Session) Store() *ckptstore.Store { return s.Co.Store() }
+
 // Wait blocks until the job completes and returns its statistics.
 func (s *Session) Wait() (Stats, error) {
 	res, err := s.job.WaitResult()
@@ -181,6 +203,10 @@ func (s *Session) Wait() (Stats, error) {
 		}
 		st.Crossings += rt.Boundary().Crossings()
 		st.WrapperCalls += rt.WrapperCalls()
+		st.CtlMsgs += rt.ctlMsgs
+		if rt.drainVT > st.DrainVT {
+			st.DrainVT = rt.drainVT
+		}
 	}
 	for _, stopped := range s.stopped {
 		if stopped {
@@ -217,6 +243,32 @@ func Run(cfg Config, n int, factory app.Factory, ckptAtStep int) (Stats, [][]byt
 // Restart resumes from images and waits for completion.
 func Restart(cfg Config, images [][]byte, factory app.Factory) (Stats, error) {
 	s, err := RestartJob(cfg, images, factory)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Wait()
+}
+
+// RestartJobFromStore resumes a job from the store's most recent
+// generation, materializing base+delta chains into full images. The
+// session keeps delivering into the same store, so checkpoints taken
+// after the restart extend the generation chain.
+func RestartJobFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (*Session, error) {
+	if st == nil {
+		return nil, fmt.Errorf("mana: restart from store: no store")
+	}
+	images, err := st.MaterializeHead()
+	if err != nil {
+		return nil, fmt.Errorf("mana: restart: %w", err)
+	}
+	cfg.Store = st
+	return RestartJob(cfg, images, factory)
+}
+
+// RestartFromStore resumes from the store's head generation and waits
+// for completion.
+func RestartFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (Stats, error) {
+	s, err := RestartJobFromStore(cfg, st, factory)
 	if err != nil {
 		return Stats{}, err
 	}

@@ -58,6 +58,14 @@ type Runtime struct {
 	// wrapperCalls counts MPI calls that crossed the boundary (§6.3).
 	wrapperCalls uint64
 
+	// drainVT accumulates the virtual time spent inside the drain
+	// strategy across this rank's checkpoints (Stats.DrainVT).
+	drainVT time.Duration
+	// ctlMsgs counts drain control messages this rank sent over the
+	// internal communicator (Stats.CtlMsgs), tallied by the DrainEnv
+	// adapter.
+	ctlMsgs uint64
+
 	co      *Coordinator
 	stepNow int
 	// ckptAtStep is the agreed checkpoint boundary (-1: none pending).

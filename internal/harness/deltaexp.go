@@ -1,0 +1,149 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"manasim/internal/apps"
+	"manasim/internal/ckptstore"
+	mana "manasim/internal/core"
+	"manasim/internal/fsim"
+	"manasim/internal/impls"
+)
+
+// deltaChunkBytes is the delta chunk size of the experiment. Production
+// images are GBs chunked at ckptimg.AppChunk; the proxies' snapshots
+// are tens of KB, so the chunk shrinks proportionally to keep a
+// realistic chunks-per-image ratio.
+const deltaChunkBytes = 4 << 10
+
+// DeltaRow is one cell of the incremental-checkpoint comparison: one
+// application checkpointed twice along a run/restart chain, with the
+// store either writing every generation in full or writing the second
+// generation as a delta against the first.
+type DeltaRow struct {
+	App  string
+	Mode string // "full" or "delta"
+	// BaseKB is generation 0's total encoded bytes (always a base).
+	BaseKB float64
+	// IncrKB is generation 1's total encoded bytes — the generation the
+	// delta tier shrinks.
+	IncrKB float64
+	// IncrPct is IncrKB as a percentage of BaseKB.
+	IncrPct float64
+	// RestartVTS is the virtual time of the final restarted segment
+	// (chain resolution is charged through the filesystem model).
+	RestartVTS float64
+	// RestartOK records that the run completed from the materialized
+	// chain with checksums identical to an uninterrupted run.
+	RestartOK bool
+}
+
+// DeltaImages compares full and incremental checkpoint generations on
+// a run → checkpoint → restart → checkpoint → restart chain: the second
+// generation is taken after a restart, so in delta mode it is encoded
+// against the first generation's chunk index and materialized through
+// the base+delta chain for the final restart.
+func DeltaImages(opts Options) ([]DeltaRow, error) {
+	opts = opts.normalized()
+	var rows []DeltaRow
+	for _, appName := range []string{"comd", "lammps", "hpcg"} {
+		spec, err := apps.ByName(appName)
+		if err != nil {
+			return nil, err
+		}
+		in := spec.DefaultInput(apps.SiteDiscovery)
+		in.Ranks = 8
+		in.SimSteps = max(6, 12/opts.Fast)
+		s1, s2 := in.SimSteps/3, 2*in.SimSteps/3
+
+		factory, err := impls.Get("mpich")
+		if err != nil {
+			return nil, err
+		}
+		base := mana.Config{ImplName: "mpich", Factory: factory, FS: fsim.NFSv3()}
+		plain, _, err := mana.Run(base, in.Ranks, spec.New(in), -1)
+		if err != nil {
+			return nil, fmt.Errorf("delta experiment %s baseline: %w", appName, err)
+		}
+
+		for _, delta := range []bool{false, true} {
+			st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
+				Delta: delta, ChunkBytes: deltaChunkBytes, ChainCap: 8,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg := base
+			cfg.Store = st
+			cfg.ExitAtCheckpoint = true
+
+			// Generation 0: checkpoint at s1 and stop (preemption).
+			if _, _, err := mana.Run(cfg, in.Ranks, spec.New(in), s1); err != nil {
+				return nil, fmt.Errorf("delta experiment %s gen0: %w", appName, err)
+			}
+			// Generation 1: restart, checkpoint at s2, stop. In delta
+			// mode this generation diffs against generation 0.
+			s, err := mana.RestartJobFromStore(cfg, st, spec.New(in))
+			if err != nil {
+				return nil, fmt.Errorf("delta experiment %s gen1 restart: %w", appName, err)
+			}
+			s.Co.RequestCheckpointAtStep(s2)
+			if _, err := s.Wait(); err != nil {
+				return nil, fmt.Errorf("delta experiment %s gen1: %w", appName, err)
+			}
+			// Final restart resolves the chain and runs to completion.
+			cfg.ExitAtCheckpoint = false
+			rst, err := mana.RestartFromStore(cfg, st, spec.New(in))
+			if err != nil {
+				return nil, fmt.Errorf("delta experiment %s final restart: %w", appName, err)
+			}
+
+			gens := st.Generations()
+			if len(gens) != 2 {
+				return nil, fmt.Errorf("delta experiment %s: %d generations, want 2", appName, len(gens))
+			}
+			mode := "full"
+			if delta {
+				mode = "delta"
+				if gens[1].Base() {
+					return nil, fmt.Errorf("delta experiment %s: second generation is not incremental", appName)
+				}
+			}
+			row := DeltaRow{
+				App: spec.Paper, Mode: mode,
+				BaseKB:     float64(gens[0].Bytes) / 1024,
+				IncrKB:     float64(gens[1].Bytes) / 1024,
+				RestartVTS: rst.VT.Seconds(),
+				RestartOK:  slices.Equal(plain.Checksums, rst.Checksums),
+			}
+			if gens[0].Bytes > 0 {
+				row.IncrPct = float64(gens[1].Bytes) / float64(gens[0].Bytes) * 100
+			}
+			if opts.Logf != nil {
+				opts.Logf("delta %s/%s: base=%.1fKB incr=%.1fKB (%.0f%%) restart-vt=%.1fs ok=%v",
+					appName, mode, row.BaseKB, row.IncrKB, row.IncrPct, row.RestartVTS, row.RestartOK)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteDelta renders the incremental-checkpoint comparison.
+func WriteDelta(w io.Writer, rows []DeltaRow) {
+	title := "Incremental images: full vs delta generations (arXiv:1906.05020)"
+	fmt.Fprintf(w, "%s\n%s\n%-10s %-6s %12s %12s %9s %14s %10s\n", title, strings.Repeat("=", len(title)),
+		"App", "Mode", "Base KB", "Incr KB", "Incr %", "Restart VT (s)", "Restart")
+	for _, r := range rows {
+		status := "ok"
+		if !r.RestartOK {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%-10s %-6s %12.1f %12.1f %8.0f%% %14.1f %10s\n",
+			r.App, r.Mode, r.BaseKB, r.IncrKB, r.IncrPct, r.RestartVTS, status)
+	}
+	fmt.Fprintln(w)
+}

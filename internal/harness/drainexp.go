@@ -23,6 +23,13 @@ type DrainRow struct {
 	// CkptVTS is the virtual time of the run up to and including the
 	// checkpoint (preemption stop), in seconds.
 	CkptVTS float64
+	// DrainVTS is the virtual time the drain strategy itself spent
+	// reconciling in-flight messages (slowest rank), in seconds — the
+	// protocol cost isolated from the rest of the checkpoint.
+	DrainVTS float64
+	// CtlMsgs is the number of drain control messages sent over the
+	// internal communicator across all ranks.
+	CtlMsgs uint64
 	// Drained is the total number of in-flight messages captured across
 	// all rank images.
 	Drained int
@@ -76,7 +83,12 @@ func DrainStrategies(opts Options) ([]DrainRow, error) {
 			if err != nil {
 				return nil, fmt.Errorf("drain experiment %s/%s: %w", implName, strat, err)
 			}
-			row := DrainRow{Impl: implName, Strategy: strat, CkptVTS: st.VT.Seconds()}
+			row := DrainRow{
+				Impl: implName, Strategy: strat,
+				CkptVTS:  st.VT.Seconds(),
+				DrainVTS: st.DrainVT.Seconds(),
+				CtlMsgs:  st.CtlMsgs,
+			}
 			var bytes int
 			for _, data := range images {
 				img, err := ckptimg.Decode(data)
@@ -93,7 +105,8 @@ func DrainStrategies(opts Options) ([]DrainRow, error) {
 			}
 			row.RestartOK = slices.Equal(plain.Checksums, rst.Checksums)
 			if opts.Logf != nil {
-				opts.Logf("drain %s/%s: vt=%.1fs drained=%d restart-ok=%v", implName, strat, row.CkptVTS, row.Drained, row.RestartOK)
+				opts.Logf("drain %s/%s: vt=%.1fs drain-vt=%.2fs ctl-msgs=%d drained=%d restart-ok=%v",
+					implName, strat, row.CkptVTS, row.DrainVTS, row.CtlMsgs, row.Drained, row.RestartOK)
 			}
 			rows = append(rows, row)
 		}
@@ -104,14 +117,15 @@ func DrainStrategies(opts Options) ([]DrainRow, error) {
 // WriteDrain renders the drain-strategy comparison.
 func WriteDrain(w io.Writer, rows []DrainRow) {
 	title := "Drain strategies: two-phase (SC'23 §5) vs topological sort (arXiv:2408.02218)"
-	fmt.Fprintf(w, "%s\n%s\n%-10s %-10s %12s %9s %12s %10s\n", title, strings.Repeat("=", len(title)),
-		"Impl", "Strategy", "Ckpt VT (s)", "Drained", "Image KB", "Restart")
+	fmt.Fprintf(w, "%s\n%s\n%-10s %-10s %12s %14s %9s %9s %12s %10s\n", title, strings.Repeat("=", len(title)),
+		"Impl", "Strategy", "Ckpt VT (s)", "Drain VT (ms)", "Ctl msgs", "Drained", "Image KB", "Restart")
 	for _, r := range rows {
 		status := "ok"
 		if !r.RestartOK {
 			status = "MISMATCH"
 		}
-		fmt.Fprintf(w, "%-10s %-10s %12.1f %9d %12.1f %10s\n", r.Impl, r.Strategy, r.CkptVTS, r.Drained, r.ImageKB, status)
+		fmt.Fprintf(w, "%-10s %-10s %12.1f %14.3f %9d %9d %12.1f %10s\n",
+			r.Impl, r.Strategy, r.CkptVTS, r.DrainVTS*1e3, r.CtlMsgs, r.Drained, r.ImageKB, status)
 	}
 	fmt.Fprintln(w)
 }
