@@ -51,6 +51,34 @@ bench-drain:
 	@echo "Running checkpoint drain benchmarks (twophase vs toposort)..."
 	@$(GO) test -run '^$$' -bench BenchmarkCheckpointDrain -benchtime 3x .
 
+# Checkpoint-pipeline benchmarks: the codec and store hot paths this
+# repo optimizes PR over PR.
+BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkCompressTiers'
+
+.PHONY: bench-ckpt
+bench-ckpt:
+	@$(GO) test -run '^$$' -bench $(BENCH_CKPT) -benchtime 3x -benchmem .
+
+# bench-compare runs the checkpoint benchmarks 5 times, saves them to
+# bench-new.txt, and renders an old-vs-new median table against
+# bench-old.txt (plain-Go summarizer, no external deps). The first run
+# seeds bench-old.txt; `cp bench-new.txt bench-old.txt` re-baselines.
+.PHONY: bench-compare
+bench-compare:
+	@echo "Running checkpoint benchmarks (-count=5)..."
+	@$(GO) test -run '^$$' -bench $(BENCH_CKPT) -benchtime 3x -count 5 -benchmem . > bench-new.txt
+	@if [ -f bench-old.txt ]; then \
+		$(GO) run ./cmd/benchcmp bench-old.txt bench-new.txt; \
+	else \
+		cp bench-new.txt bench-old.txt; \
+		echo "No bench-old.txt baseline; saved this run as the baseline."; \
+	fi
+
+.PHONY: race-ckpt
+race-ckpt:
+	@echo "Running the checkpoint subsystem under the race detector..."
+	@$(GO) test -race ./internal/ckptstore/... ./internal/ckptimg/... ./internal/ckpt/...
+
 .PHONY: bench-figures
 bench-figures:
 	@echo "Regenerating the paper figures via benchmarks..."

@@ -122,6 +122,7 @@ func BenchmarkContextSwitchRates(b *testing.B) {
 // BenchmarkTable3Checkpoint regenerates Table 3: checkpoint size, time,
 // and MB/s/rank on the NFSv3 model.
 func BenchmarkTable3Checkpoint(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := harness.Table3(benchOpts)
 		if err != nil {
@@ -305,6 +306,7 @@ func BenchmarkCheckpointRestartCycle(b *testing.B) {
 	in.Ranks = 8
 	in.SimSteps = 6
 	cfg := mana.Config{ImplName: "mpich", Factory: factory, ExitAtCheckpoint: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, images, err := mana.Run(cfg, 8, spec.New(in), 3)
@@ -342,6 +344,7 @@ func BenchmarkCrossImplRestart(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		dst := mana.Config{ImplName: "openmpi", Factory: ompiF}
@@ -380,6 +383,7 @@ func BenchmarkDeltaEncode(b *testing.B) {
 	b.Run("full", func(b *testing.B) {
 		img := benchImage(size, 1, 0.1)
 		b.SetBytes(size)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := ckptimg.Encode(img); err != nil {
@@ -391,6 +395,7 @@ func BenchmarkDeltaEncode(b *testing.B) {
 		b.Run(fmt.Sprintf("delta/changed=%.0f%%", frac*100), func(b *testing.B) {
 			img := benchImage(size, 1, frac)
 			b.SetBytes(size)
+			b.ReportAllocs()
 			var encoded int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -435,9 +440,10 @@ func BenchmarkChainMaterialize(b *testing.B) {
 				b.Fatal("head generation is not a delta")
 			}
 			b.SetBytes(size)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				imgs, err := st.MaterializeHead()
+				imgs, _, err := st.MaterializeHead()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -465,6 +471,7 @@ func BenchmarkDrainProtocol(b *testing.B) {
 	in.SimSteps = 8
 	in.PollsPerStep = 4
 	cfg := mana.Config{ImplName: "mpich", Factory: factory, ExitAtCheckpoint: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, images, err := mana.Run(cfg, 8, spec.New(in), 4)
@@ -504,6 +511,7 @@ func BenchmarkCheckpointDrain(b *testing.B) {
 				}
 				var totalVT time.Duration
 				var drained int
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					st, images, err := mana.Run(cfg, ranks, spec.New(in), 4)
@@ -528,5 +536,110 @@ func BenchmarkCheckpointDrain(b *testing.B) {
 				b.ReportMetric(float64(drained), "drained-msgs")
 			})
 		}
+	}
+}
+
+// benchGeneration encodes one full generation of rank images against
+// the store's options.
+func benchGeneration(b *testing.B, st *ckptstore.Store, ranks, size, gen int, changedFrac float64) [][]byte {
+	b.Helper()
+	images := make([][]byte, ranks)
+	for r := 0; r < ranks; r++ {
+		img := benchImage(size, gen, changedFrac)
+		img.Rank, img.NRanks = r, ranks
+		var data []byte
+		var err error
+		if parent, pgen, ok := st.PlanDelta(r); ok {
+			data, _, err = ckptimg.EncodeDelta(img, parent, pgen, st.EncodeOptions())
+		} else {
+			data, err = ckptimg.EncodeOpts(img, st.EncodeOptions())
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		images[r] = data
+	}
+	return images
+}
+
+// BenchmarkParallelCommit measures Store.Commit across worker-pool
+// widths: 8 ranks delivering 4 MB images into a delta store, so every
+// rank pays a decode + chunk-index pass that the pool fans out.
+// workers=1 is the serial reference.
+func BenchmarkParallelCommit(b *testing.B) {
+	const ranks, size = 8, 4 << 20
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := ckptstore.Options{Delta: true, Workers: workers}
+			images := benchGeneration(b, ckptstore.MustOpen(ranks, opts), ranks, size, 0, 0)
+			b.SetBytes(int64(ranks * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st := ckptstore.MustOpen(ranks, opts)
+				b.StartTimer()
+				if _, err := st.Commit(images); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMaterialize measures restart-side chain resolution
+// across worker-pool widths: 8 ranks, each resolving a base plus three
+// delta links of a 4 MB app state. workers=1 is the serial reference.
+func BenchmarkParallelMaterialize(b *testing.B) {
+	const ranks, size = 8, 4 << 20
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			st := ckptstore.MustOpen(ranks, ckptstore.Options{Delta: true, ChainCap: 8, Workers: workers})
+			for gen := 0; gen < 4; gen++ {
+				if _, err := st.Commit(benchGeneration(b, st, ranks, size, gen, 0.1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if head, _ := st.Head(); head.Base() {
+				b.Fatal("head generation is not a delta")
+			}
+			b.SetBytes(int64(ranks * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				imgs, _, err := st.MaterializeHead()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(imgs) != ranks {
+					b.Fatal("missing image")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressTiers measures the compression tiers on a 4 MB app
+// state: the fast tier (flate BestSpeed) is the hot-checkpoint setting,
+// max the archival one. The ratio metric reports encoded KB.
+func BenchmarkCompressTiers(b *testing.B) {
+	const size = 4 << 20
+	img := benchImage(size, 1, 0.1)
+	for _, tier := range []ckptimg.CompressTier{ckptimg.TierFast, ckptimg.TierBalanced, ckptimg.TierMax} {
+		b.Run(tier.String(), func(b *testing.B) {
+			o := ckptimg.Options{Compress: true, Tier: tier}
+			b.SetBytes(size)
+			b.ReportAllocs()
+			var encoded int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := ckptimg.EncodeOpts(img, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				encoded = len(data)
+			}
+			b.ReportMetric(float64(encoded)/1024, "encoded-KB")
+		})
 	}
 }

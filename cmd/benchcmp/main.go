@@ -1,0 +1,197 @@
+// Command benchcmp summarizes two `go test -bench` output files as a
+// benchstat-style old-vs-new table, with no dependency outside the
+// standard library. Multiple runs of one benchmark (-count=N) are
+// reduced to their median, so a single noisy run does not dominate.
+//
+// Usage:
+//
+//	benchcmp old.txt new.txt
+//
+// The table reports ns/op, B/op, and allocs/op deltas for every
+// benchmark present in both files, then lists benchmarks unique to one
+// side. Negative deltas are improvements.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark line's metrics.
+type sample struct {
+	nsPerOp  float64
+	bPerOp   float64
+	allocsOp float64
+	hasMem   bool
+}
+
+// results maps a benchmark name to its runs.
+type results map[string][]sample
+
+// parseFile extracts benchmark lines from one `go test -bench` output.
+func parseFile(path string) (results, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := results{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		name, s, ok := parseLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], s)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one "BenchmarkX-8  10  123 ns/op  45 B/op  6
+// allocs/op ..." line; custom metrics are ignored.
+func parseLine(line string) (string, sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	name := fields[0]
+	// Trim the -GOMAXPROCS suffix so runs from different widths align.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s sample
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp, seen = v, true
+		case "B/op":
+			s.bPerOp, s.hasMem = v, true
+		case "allocs/op":
+			s.allocsOp, s.hasMem = v, true
+		}
+	}
+	return name, s, seen
+}
+
+// median reduces runs to a representative sample per metric.
+func median(runs []sample) sample {
+	pick := func(get func(sample) float64) float64 {
+		vs := make([]float64, len(runs))
+		for i, r := range runs {
+			vs[i] = get(r)
+		}
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			return vs[n/2]
+		}
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+	out := sample{
+		nsPerOp:  pick(func(s sample) float64 { return s.nsPerOp }),
+		bPerOp:   pick(func(s sample) float64 { return s.bPerOp }),
+		allocsOp: pick(func(s sample) float64 { return s.allocsOp }),
+	}
+	for _, r := range runs {
+		out.hasMem = out.hasMem || r.hasMem
+	}
+	return out
+}
+
+// delta renders a percentage change.
+func delta(oldV, newV float64) string {
+	if oldV == 0 {
+		if newV == 0 {
+			return "   ~"
+		}
+		return "  +∞"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+// human renders a metric value compactly.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp old.txt new.txt")
+		os.Exit(2)
+	}
+	oldR, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newR, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	var names []string
+	for name := range oldR {
+		if _, ok := newR[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("benchcmp: no common benchmarks")
+		return
+	}
+
+	fmt.Printf("%-52s %10s %10s %8s   %10s %10s %8s   %8s %8s %8s\n",
+		"benchmark (medians)", "old ns/op", "new ns/op", "Δns",
+		"old B/op", "new B/op", "ΔB", "old alc", "new alc", "Δalc")
+	for _, name := range names {
+		o, n := median(oldR[name]), median(newR[name])
+		short := strings.TrimPrefix(name, "Benchmark")
+		if len(short) > 52 {
+			short = short[:52]
+		}
+		fmt.Printf("%-52s %10s %10s %8s   ", short, human(o.nsPerOp), human(n.nsPerOp), delta(o.nsPerOp, n.nsPerOp))
+		if o.hasMem || n.hasMem {
+			fmt.Printf("%10s %10s %8s   %8s %8s %8s\n",
+				human(o.bPerOp), human(n.bPerOp), delta(o.bPerOp, n.bPerOp),
+				human(o.allocsOp), human(n.allocsOp), delta(o.allocsOp, n.allocsOp))
+		} else {
+			fmt.Println()
+		}
+	}
+	listUnique := func(label string, a, b results) {
+		var only []string
+		for name := range a {
+			if _, ok := b[name]; !ok {
+				only = append(only, strings.TrimPrefix(name, "Benchmark"))
+			}
+		}
+		if len(only) > 0 {
+			sort.Strings(only)
+			fmt.Printf("\nonly in %s: %s\n", label, strings.Join(only, ", "))
+		}
+	}
+	listUnique(os.Args[1], oldR, newR)
+	listUnique(os.Args[2], newR, oldR)
+}

@@ -77,10 +77,13 @@ run flags:
   -uniform use 64-bit MANA handle embedding (cross-impl restart)
   -drain   drain strategy at checkpoint time (twophase, toposort)
   -compress gzip the application state in checkpoint images
+  -compress-tier  compression tier with -compress: fast (flate BestSpeed,
+                 hot checkpoints), balanced (default), or max (archival)
   -store   checkpoint store backend (mem, fs)
   -ckpt-dir directory of the fs store backend (implies -store fs)
   -delta   write incremental (delta) checkpoint generations
   -chunk-kb delta chunk size in KiB (default 256; shrink for proxy-size snapshots)
+  -workers checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)
   -site    discovery (default) or perlmutter
 
 experiment flags:
@@ -123,12 +126,18 @@ func cmdRun(args []string) error {
 	uniform := fs.Bool("uniform", false, "64-bit MANA handle embedding")
 	drainName := fs.String("drain", ckptsub.DefaultDrain, "drain strategy (twophase, toposort)")
 	compress := fs.Bool("compress", false, "gzip checkpoint image app state")
+	tierName := fs.String("compress-tier", "", "compression tier with -compress: fast, balanced, or max")
 	storeName := fs.String("store", "", "checkpoint store backend (mem, fs)")
 	ckptDir := fs.String("ckpt-dir", "", "fs store backend directory")
 	delta := fs.Bool("delta", false, "write incremental checkpoint generations")
 	chunkKB := fs.Int("chunk-kb", 0, "delta chunk size in KiB (default ckptimg.AppChunk; shrink to match proxy snapshot sizes)")
+	workers := fs.Int("workers", 0, "checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	siteName := fs.String("site", "discovery", "site profile")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tier, err := ckptimg.ParseCompressTier(*tierName)
+	if err != nil {
 		return err
 	}
 
@@ -161,7 +170,9 @@ func cmdRun(args []string) error {
 		UniformHandles: *uniform,
 		DrainStrategy:  *drainName,
 		CompressImages: *compress,
+		CompressTier:   tier,
 		DeltaImages:    *delta,
+		Workers:        *workers,
 	}
 	if *legacy {
 		cfg.Design = mana.DesignLegacy
@@ -173,11 +184,13 @@ func cmdRun(args []string) error {
 	// the implicit in-core store has no chunk-size knob.
 	if *storeName != "" || *delta || *chunkKB > 0 {
 		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
-			Backend:    *storeName,
-			Dir:        *ckptDir,
-			Delta:      *delta,
-			Compress:   *compress,
-			ChunkBytes: *chunkKB << 10,
+			Backend:      *storeName,
+			Dir:          *ckptDir,
+			Delta:        *delta,
+			Compress:     *compress,
+			CompressTier: tier,
+			ChunkBytes:   *chunkKB << 10,
+			Workers:      *workers,
 		})
 		if err != nil {
 			return err
@@ -217,7 +230,7 @@ func cmdRun(args []string) error {
 	}
 	report(*appName, "MANA/"+*implName, st, in, start)
 	store := s.Store()
-	images, err := store.MaterializeHead()
+	images, chains, err := store.MaterializeHead()
 	if err != nil {
 		return err
 	}
@@ -231,6 +244,10 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("checkpoint: %d rank images at step %d, %d KB real + %d MB modeled per rank\n",
 		len(images), img0.Step, bytes/len(images)/1024, img0.ModeledBytes>>20)
+	if links := chains[0].Links; links > 0 {
+		fmt.Printf("checkpoint: head resolves a %d-link delta chain (%d KB base + %d KB deltas per rank)\n",
+			links, chains[0].BaseBytes/1024, chains[0].DeltaBytes/1024)
+	}
 	for _, g := range store.Generations() {
 		kind := "base"
 		if !g.Base() {
@@ -329,6 +346,11 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteDelta(os.Stdout, rows)
+			chain, err := harness.DeltaChainSweep(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteDeltaChain(os.Stdout, chain)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}

@@ -143,7 +143,8 @@ func (c *Coordinator) Images() ([][]byte, error) {
 	if _, ok := c.store.Head(); !ok {
 		return nil, &IncompleteSetError{Have: staged, Want: c.n}
 	}
-	return c.store.MaterializeHead()
+	images, _, err := c.store.MaterializeHead()
+	return images, err
 }
 
 // Deliver records one rank's encoded image for the current generation.
@@ -152,6 +153,13 @@ func (c *Coordinator) Images() ([][]byte, error) {
 // committed to the store only once every rank has delivered; a killed
 // rank therefore leaves nothing behind but staged bytes that die with
 // the coordinator.
+//
+// The store commit issued by the last-delivering rank is where the
+// parallel checkpoint pipeline runs: Store.Commit fans per-rank decode,
+// indexing, and backend writes out to its worker pool. Deliver itself
+// stays under the coordinator mutex — every other rank of the job is
+// parked at the post-checkpoint barrier until the commit returns, so
+// there is no concurrent delivery to unblock.
 func (c *Coordinator) Deliver(rank int, data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()

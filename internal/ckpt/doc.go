@@ -47,4 +47,23 @@
 //	core ──▶ ckpt ──▶ ckptstore ──▶ ckptimg
 //	          ▲
 //	          └── ckpt/drain (init-registered strategies)
+//
+// # Concurrency model
+//
+// Every Coordinator method is safe to call from any rank goroutine.
+// Deliver serializes under the coordinator mutex; the parallelism of
+// the checkpoint pipeline lives one layer down, inside Store.Commit,
+// which fans per-rank decode, chunk indexing, and backend writes out
+// across the store's worker pool (see ckptstore's concurrency model).
+// Holding the coordinator mutex across that commit costs nothing in
+// practice: the commit is issued by the generation's last-delivering
+// rank while every other rank is parked at the post-checkpoint barrier,
+// so no concurrent Deliver exists to block. Images/Store reads and the
+// boundary-agreement calls (NextBoundary, CheckpointDone) use separate
+// or atomic state and interleave freely.
+//
+// A store commit failure surfaces from the completing rank's Deliver;
+// the store guarantees the failed generation left no blobs or chain
+// state behind, so the coordinator simply stays at the previous
+// generation count.
 package ckpt

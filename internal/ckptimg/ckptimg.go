@@ -13,11 +13,17 @@
 // gob round-trip, and a flipped bit anywhere turns into a clean error
 // naming the damaged section. Format v2 (whole-body gob with a single
 // trailing CRC) is still decoded for images taken by older builds.
+//
+// The codec is built for the parallel checkpoint pipeline: encoders
+// write each byte of application state into the output exactly once,
+// scratch state (gzip writers/readers, gob buffers) is pooled and
+// reused across images, and the in-memory decoders walk sections as
+// subslices of the input instead of copying every frame. All entry
+// points are safe for concurrent use.
 package ckptimg
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -58,13 +64,23 @@ const FlagGzip uint32 = 1 << 0
 // them with ErrDeltaImage.
 const FlagDelta uint32 = 1 << 1
 
+// FlagFastCompress marks a gzip image written at the fast tier (flate
+// BestSpeed, Options.Tier = TierFast). The flag is diagnostic — gzip
+// streams are self-describing, so decoding does not need it — but it
+// lets tooling tell hot-tier checkpoints from archival ones without
+// inflating them.
+const FlagFastCompress uint32 = 1 << 2
+
 // knownFlags masks the header bits this build understands.
-const knownFlags = FlagGzip | FlagDelta
+const knownFlags = FlagGzip | FlagDelta | FlagFastCompress
 
 // AppChunk is the maximum payload of one application-state section:
 // large snapshots are split so each chunk is framed and checksummed
 // independently.
 const AppChunk = 256 << 10
+
+// maxSection bounds a single section's claimed payload size.
+const maxSection = 1 << 31
 
 // Section tags of the v3 format.
 const (
@@ -159,6 +175,10 @@ type Options struct {
 	// Compress gzips the application-state sections — the compression
 	// tier for images whose snapshots are mostly redundant bytes.
 	Compress bool
+	// Tier selects the flate effort when Compress is set: TierBalanced
+	// (default), TierFast (flate BestSpeed, FlagFastCompress — the hot
+	// checkpoint tier), or TierMax (archival).
+	Tier CompressTier
 	// ChunkSize overrides the application-state chunk size (default
 	// AppChunk). The checkpoint store shrinks it for small simulated
 	// snapshots so the delta tier works at the same chunks-per-image
@@ -174,17 +194,55 @@ func (o Options) chunkSize() int {
 	return AppChunk
 }
 
+// headerFlags resolves the v3 header flag bits the options imply.
+func (o Options) headerFlags() uint32 {
+	if !o.Compress {
+		return 0
+	}
+	flags := FlagGzip
+	if o.Tier == TierFast {
+		flags |= FlagFastCompress
+	}
+	return flags
+}
+
 // Encode serializes the image in the current format with default
 // options.
 func Encode(img *Image) ([]byte, error) { return EncodeOpts(img, Options{}) }
 
-// EncodeOpts serializes the image in the current format.
+// EncodeOpts serializes the image in the current format. The output
+// buffer is sized from the image up front, so the bulk application
+// state is copied into it exactly once.
 func EncodeOpts(img *Image, o Options) ([]byte, error) {
 	var buf bytes.Buffer
+	buf.Grow(img.sizeHint(o.chunkSize()))
 	if err := EncodeTo(&buf, img, o); err != nil {
 		return nil, err
 	}
 	return buf.Bytes(), nil
+}
+
+// sizeHint estimates the encoded size for buffer preallocation: the
+// app state plus per-chunk frames plus the tail sections.
+func (img *Image) sizeHint(cs int) int {
+	return 16 + len(img.AppState) + 16*(len(img.AppState)/cs+2) + img.tailSizeHint()
+}
+
+// tailSizeHint estimates the sections that follow the application
+// payload — META, the vid store snapshot, drained messages, request
+// results, counters, frames — so encoders can reserve for them up
+// front: a mid-encode buffer regrowth would recopy every already
+// written app-state byte, exactly the copy the single-pass encoders
+// exist to avoid. The vid store is gob and its items vary in size, so
+// its term is an estimate; the rest is exact to within frame slack.
+func (img *Image) tailSizeHint() int {
+	h := 1024 + 128*len(img.Store.Items)
+	for _, m := range img.Drained {
+		h += len(m.Payload) + 64
+	}
+	h += 8*(len(img.SentTo)+len(img.RecvFrom)) + 40*len(img.ReqResults)
+	h += len(img.Impl) + len(img.Design) // META strings
+	return h
 }
 
 // EncodeTo streams the image to w section by section: header first,
@@ -196,11 +254,7 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 	var hdr [16]byte
 	copy(hdr[:8], Magic[:])
 	binary.LittleEndian.PutUint32(hdr[8:12], Version)
-	var flags uint32
-	if o.Compress {
-		flags |= FlagGzip
-	}
-	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	binary.LittleEndian.PutUint32(hdr[12:16], o.headerFlags())
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("ckptimg: encode header: %w", err)
 	}
@@ -211,13 +265,17 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 
 	app := img.AppState
 	if o.Compress {
-		var z bytes.Buffer
-		zw := gzip.NewWriter(&z)
-		if _, err := zw.Write(app); err != nil {
-			return fmt.Errorf("ckptimg: compressing app state: %w", err)
+		z := getBuf()
+		defer putBuf(z)
+		zw := getGzipWriter(z, o.Tier)
+		_, werr := zw.Write(app)
+		cerr := zw.Close()
+		putGzipWriter(o.Tier, zw)
+		if werr == nil {
+			werr = cerr
 		}
-		if err := zw.Close(); err != nil {
-			return fmt.Errorf("ckptimg: compressing app state: %w", err)
+		if werr != nil {
+			return fmt.Errorf("ckptimg: compressing app state: %w", werr)
 		}
 		app = z.Bytes()
 	}
@@ -233,41 +291,42 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 	return writeTailSections(w, img)
 }
 
-// writeMetaSection writes the META section shared by full and delta
-// images.
-func writeMetaSection(w io.Writer, img *Image) error {
-	return gobSection(w, secMeta, &meta{
-		Rank: img.Rank, NRanks: img.NRanks, Step: img.Step,
-		Impl: img.Impl, Design: img.Design,
-		UniformHandles: img.UniformHandles, ModeledBytes: img.ModeledBytes,
-	})
-}
-
 // writeTailSections writes the sections every image variant carries
 // after its application payload — vid store, drained messages, request
 // results, counters — and the end marker. A section added here reaches
-// full and delta images alike.
+// full and delta images alike. Only the vid store snapshot is gob (a
+// recursive structure); the flat sections use the binary codec of
+// sections.go.
 func writeTailSections(w io.Writer, img *Image) error {
 	if err := gobSection(w, secStore, &img.Store); err != nil {
 		return err
 	}
-	if err := gobSection(w, secDrained, img.Drained); err != nil {
+	if err := writeDrainedSection(w, img.Drained); err != nil {
 		return err
 	}
-	if err := gobSection(w, secReqs, img.ReqResults); err != nil {
+	if err := writeReqsSection(w, img.ReqResults); err != nil {
 		return err
 	}
-	if err := gobSection(w, secCounters, &counters{SentTo: img.SentTo, RecvFrom: img.RecvFrom}); err != nil {
+	if err := writeCountersSection(w, img.SentTo, img.RecvFrom); err != nil {
 		return err
 	}
 	return writeSection(w, secEnd, nil)
 }
 
 // decodeCommonSection decodes one section shared by the full and delta
-// formats (META, STOR, DRNS, REQS, CNTR) into img, reporting whether
-// the tag was one of them.
+// formats into img, reporting whether the tag was one of them. Both
+// the binary tags (current encoders) and the gob tags (images written
+// by earlier builds and persisted by durable backends) are accepted.
 func decodeCommonSection(img *Image, tag uint32, payload []byte) (bool, error) {
 	switch tag {
+	case secMeta2:
+		return true, decodeMeta2(img, payload)
+	case secDrained2:
+		return true, decodeDrained2(img, payload)
+	case secReqs2:
+		return true, decodeReqs2(img, payload)
+	case secCounters2:
+		return true, decodeCounters2(img, payload)
 	case secMeta:
 		var m meta
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&m); err != nil {
@@ -302,23 +361,46 @@ func decodeCommonSection(img *Image, tag uint32, payload []byte) (bool, error) {
 
 // writeSection frames one section: tag, length, CRC-32, payload.
 func writeSection(w io.Writer, tag uint32, payload []byte) error {
+	return writeSection2(w, tag, payload, nil)
+}
+
+// writeSection2 frames one section whose payload is the concatenation
+// head+tail, without materializing the joined slice: the CRC is
+// computed incrementally and the two parts are written back to back.
+// This is the single-pass path of the delta encoder — a chunk's record
+// header and its bytes become one framed section with no intermediate
+// copy.
+func writeSection2(w io.Writer, tag uint32, head, tail []byte) error {
 	var hdr [16]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], tag)
-	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(head)+len(tail)))
+	crc := crc32.ChecksumIEEE(head)
+	if len(tail) > 0 {
+		crc = crc32.Update(crc, crc32.IEEETable, tail)
+	}
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("ckptimg: writing %s section: %w", tagName(tag), err)
 	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("ckptimg: writing %s section: %w", tagName(tag), err)
+	if len(head) > 0 {
+		if _, err := w.Write(head); err != nil {
+			return fmt.Errorf("ckptimg: writing %s section: %w", tagName(tag), err)
+		}
+	}
+	if len(tail) > 0 {
+		if _, err := w.Write(tail); err != nil {
+			return fmt.Errorf("ckptimg: writing %s section: %w", tagName(tag), err)
+		}
 	}
 	return nil
 }
 
-// gobSection writes one gob-encoded section.
+// gobSection writes one gob-encoded section through a pooled scratch
+// buffer.
 func gobSection(w io.Writer, tag uint32, v any) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(v); err != nil {
+	body := getBuf()
+	defer putBuf(body)
+	if err := gob.NewEncoder(body).Encode(v); err != nil {
 		return fmt.Errorf("ckptimg: encoding %s section: %w", tagName(tag), err)
 	}
 	return writeSection(w, tag, body.Bytes())
@@ -331,29 +413,74 @@ func tagName(tag uint32) string {
 	return string(b[:])
 }
 
-// Decode validates and deserializes an image from a byte slice.
-func Decode(data []byte) (*Image, error) { return DecodeFrom(bytes.NewReader(data)) }
+// ---------------------------------------------------------------------
+// decode
 
-// DecodeFrom validates and deserializes an image from a stream, section
-// by section for v3 images. Legacy v2 images are recognized by their
-// header version and decoded through the old monolithic path.
-func DecodeFrom(r io.Reader) (*Image, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ckptimg: image truncated reading header (%w): %w", ErrCorrupt, err)
+// sectionCursor walks the framed sections of an in-memory image. The
+// payloads it returns are subslices of the input — no per-section copy
+// — so the input must not be mutated while decode results derived from
+// it are in use.
+type sectionCursor struct {
+	data []byte
+	off  int
+}
+
+// next reads and checksums one framed section.
+func (c *sectionCursor) next() (uint32, []byte, error) {
+	if c.off+16 > len(c.data) {
+		return 0, nil, fmt.Errorf("ckptimg: image truncated reading section header (%w)", ErrCorrupt)
 	}
-	if !bytes.Equal(hdr[:8], Magic[:]) {
-		return nil, fmt.Errorf("ckptimg: bad magic %q (%w)", hdr[:8], ErrCorrupt)
+	hdr := c.data[c.off : c.off+16]
+	tag := binary.LittleEndian.Uint32(hdr[0:4])
+	size := binary.LittleEndian.Uint64(hdr[4:12])
+	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
+	if size > maxSection {
+		return 0, nil, fmt.Errorf("ckptimg: %s section claims %d bytes (%w)", tagName(tag), size, ErrCorrupt)
 	}
-	ver := binary.LittleEndian.Uint32(hdr[8:12])
+	start := c.off + 16
+	if uint64(len(c.data)-start) < size {
+		return 0, nil, fmt.Errorf("ckptimg: image truncated reading %s section (%w)", tagName(tag), ErrCorrupt)
+	}
+	payload := c.data[start : start+int(size)]
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return 0, nil, fmt.Errorf("ckptimg: %s section checksum mismatch (%w): %08x != %08x", tagName(tag), ErrCorrupt, got, wantCRC)
+	}
+	c.off = start + int(size)
+	return tag, payload, nil
+}
+
+// rest reports the bytes remaining past the cursor.
+func (c *sectionCursor) rest() int { return len(c.data) - c.off }
+
+// parseHeader validates the 16-byte image header and returns the
+// version and flag bits.
+func parseHeader(data []byte) (ver, flags uint32, err error) {
+	if len(data) < 16 {
+		return 0, 0, fmt.Errorf("ckptimg: image truncated reading header (%w)", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:8], Magic[:]) {
+		return 0, 0, fmt.Errorf("ckptimg: bad magic %q (%w)", data[:8], ErrCorrupt)
+	}
+	ver = binary.LittleEndian.Uint32(data[8:12])
+	flags = binary.LittleEndian.Uint32(data[12:16])
+	return ver, flags, nil
+}
+
+// Decode validates and deserializes an image. The returned Image owns
+// all of its memory (nothing aliases data), so data may be reused
+// afterwards.
+func Decode(data []byte) (*Image, error) {
+	ver, flags, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
 	switch ver {
 	case VersionLegacy:
-		return decodeV2(hdr, r)
+		return decodeV2(data)
 	case Version:
 	default:
 		return nil, fmt.Errorf("ckptimg: unsupported image version %d (want %d or %d)", ver, Version, VersionLegacy)
 	}
-	flags := binary.LittleEndian.Uint32(hdr[12:16])
 	if flags&^knownFlags != 0 {
 		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
 	}
@@ -363,21 +490,24 @@ func DecodeFrom(r io.Reader) (*Image, error) {
 
 	img := &Image{}
 	var appChunks [][]byte
+	var appLen int
 	var sawMeta, sawEnd bool
+	c := &sectionCursor{data: data, off: 16}
 	for !sawEnd {
-		tag, payload, err := readSection(r)
+		tag, payload, err := c.next()
 		if err != nil {
 			return nil, err
 		}
 		if handled, err := decodeCommonSection(img, tag, payload); err != nil {
 			return nil, err
 		} else if handled {
-			sawMeta = sawMeta || tag == secMeta
+			sawMeta = sawMeta || tag == secMeta || tag == secMeta2
 			continue
 		}
 		switch tag {
 		case secApp:
 			appChunks = append(appChunks, payload)
+			appLen += len(payload)
 		case secEnd:
 			sawEnd = true
 		default:
@@ -389,17 +519,12 @@ func DecodeFrom(r io.Reader) (*Image, error) {
 	}
 	// Nothing may follow the end marker: trailing bytes mean a torn or
 	// concatenated write (the v2 whole-body CRC caught this too).
-	var trail [1]byte
-	if n, err := io.ReadFull(r, trail[:]); n > 0 || err != io.EOF {
+	if c.rest() > 0 {
 		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
 	}
-	app := bytes.Join(appChunks, nil)
-	if flags&FlagGzip != 0 {
-		app2, err := gunzip(app)
-		if err != nil {
-			return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
-		}
-		app = app2
+	app, err := assembleAppState(appChunks, appLen, flags)
+	if err != nil {
+		return nil, err
 	}
 	if len(app) > 0 {
 		img.AppState = app
@@ -407,33 +532,75 @@ func DecodeFrom(r io.Reader) (*Image, error) {
 	return img, nil
 }
 
+// assembleAppState rebuilds the application state from its section
+// payloads: one exact-size allocation for raw chunks, or one inflate
+// pass for compressed state. The result never aliases the chunks.
+func assembleAppState(chunks [][]byte, total int, flags uint32) ([]byte, error) {
+	if flags&FlagGzip == 0 {
+		if total == 0 {
+			return nil, nil
+		}
+		app := make([]byte, 0, total)
+		for _, ch := range chunks {
+			app = append(app, ch...)
+		}
+		return app, nil
+	}
+	// Compressed: the concatenated chunks form one gzip stream.
+	var stream []byte
+	if len(chunks) == 1 {
+		stream = chunks[0]
+	} else {
+		scratch := getBuf()
+		defer putBuf(scratch)
+		scratch.Grow(total)
+		for _, ch := range chunks {
+			scratch.Write(ch)
+		}
+		stream = scratch.Bytes()
+	}
+	app, err := gunzip(stream)
+	if err != nil {
+		return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
+	}
+	return app, nil
+}
+
+// DecodeFrom validates and deserializes an image from a stream. The
+// bytes are staged through a pooled buffer and decoded with Decode.
+func DecodeFrom(r io.Reader) (*Image, error) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if _, err := buf.ReadFrom(r); err != nil {
+		return nil, fmt.Errorf("ckptimg: reading image (%w): %w", ErrCorrupt, err)
+	}
+	return Decode(buf.Bytes())
+}
+
 // PeekMeta decodes only the identity metadata of an image — full or
 // delta — by reading the header and the leading META section, never
 // touching the application payload. The checkpoint store uses it on
 // the commit path when it needs the step but no chunk indexing.
 func PeekMeta(data []byte) (*Image, error) {
-	r := bytes.NewReader(data)
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ckptimg: image truncated reading header (%w): %w", ErrCorrupt, err)
+	ver, _, err := parseHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	if !bytes.Equal(hdr[:8], Magic[:]) {
-		return nil, fmt.Errorf("ckptimg: bad magic %q (%w)", hdr[:8], ErrCorrupt)
-	}
-	switch ver := binary.LittleEndian.Uint32(hdr[8:12]); ver {
+	switch ver {
 	case VersionLegacy:
 		// The monolithic format has no sections to skip; decode it.
-		return decodeV2(hdr, r)
+		return decodeV2(data)
 	case Version:
 	default:
 		return nil, fmt.Errorf("ckptimg: unsupported image version %d (want %d or %d)", ver, Version, VersionLegacy)
 	}
-	tag, payload, err := readSection(r)
+	c := &sectionCursor{data: data, off: 16}
+	tag, payload, err := c.next()
 	if err != nil {
 		return nil, err
 	}
 	img := &Image{}
-	if tag != secMeta {
+	if tag != secMeta && tag != secMeta2 {
 		return nil, fmt.Errorf("ckptimg: image does not lead with a META section (%w)", ErrCorrupt)
 	}
 	if _, err := decodeCommonSection(img, tag, payload); err != nil {
@@ -442,44 +609,33 @@ func PeekMeta(data []byte) (*Image, error) {
 	return img, nil
 }
 
-// readSection reads and checksums one framed section.
-func readSection(r io.Reader) (uint32, []byte, error) {
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("ckptimg: image truncated reading section header (%w): %w", ErrCorrupt, err)
-	}
-	tag := binary.LittleEndian.Uint32(hdr[0:4])
-	size := binary.LittleEndian.Uint64(hdr[4:12])
-	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
-	const maxSection = 1 << 31
-	if size > maxSection {
-		return 0, nil, fmt.Errorf("ckptimg: %s section claims %d bytes (%w)", tagName(tag), size, ErrCorrupt)
-	}
-	payload := make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, fmt.Errorf("ckptimg: image truncated reading %s section (%w): %w", tagName(tag), ErrCorrupt, err)
-	}
-	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-		return 0, nil, fmt.Errorf("ckptimg: %s section checksum mismatch (%w): %08x != %08x", tagName(tag), ErrCorrupt, got, wantCRC)
-	}
-	return tag, payload, nil
-}
-
 // gunzip inflates one gzip stream, treating any inflate failure as
-// corruption (a gzip flag on non-gzip bytes, a damaged stream).
+// corruption (a gzip flag on non-gzip bytes, a damaged stream). The
+// output buffer is pre-sized from the stream's ISIZE trailer (clamped,
+// since corrupt trailers may claim anything).
 func gunzip(data []byte) ([]byte, error) {
-	zr, err := gzip.NewReader(bytes.NewReader(data))
+	zr, err := getGzipReader(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
-	out, err := io.ReadAll(zr)
+	hint := int64(0)
+	if len(data) >= 4 {
+		hint = int64(binary.LittleEndian.Uint32(data[len(data)-4:]))
+	}
+	if limit := int64(len(data))*1024 + 1024; hint > limit || hint > maxSection {
+		hint = 0
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, int(hint)))
+	if _, err := buf.ReadFrom(zr); err != nil {
+		putGzipReader(zr)
+		return nil, err
+	}
+	err = zr.Close()
+	putGzipReader(zr)
 	if err != nil {
 		return nil, err
 	}
-	if err := zr.Close(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return buf.Bytes(), nil
 }
 
 // ---------------------------------------------------------------------
@@ -504,14 +660,11 @@ func EncodeLegacy(img *Image) ([]byte, error) {
 	return out, nil
 }
 
-// decodeV2 decodes the legacy format: hdr[12:16] is the CRC-32 of the
-// whole gob body that follows.
-func decodeV2(hdr [16]byte, r io.Reader) (*Image, error) {
-	wantCRC := binary.LittleEndian.Uint32(hdr[12:16])
-	body, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("ckptimg: reading v2 body (%w): %w", ErrCorrupt, err)
-	}
+// decodeV2 decodes the legacy format: header bytes 12:16 are the
+// CRC-32 of the whole gob body that follows.
+func decodeV2(data []byte) (*Image, error) {
+	wantCRC := binary.LittleEndian.Uint32(data[12:16])
+	body := data[16:]
 	if got := crc32.ChecksumIEEE(body); got != wantCRC {
 		return nil, fmt.Errorf("ckptimg: checksum mismatch (%w): %08x != %08x", ErrCorrupt, got, wantCRC)
 	}

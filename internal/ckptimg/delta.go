@@ -2,13 +2,11 @@ package ckptimg
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 )
 
 // This file is the incremental tier of the v3 image format
@@ -22,11 +20,9 @@ import (
 // generation's application state — the checkpoint store resolves the
 // base+delta chain; this package only defines the per-image format.
 
-// Delta section tags.
-const (
-	secDeltaMeta  uint32 = 0x444D4554 // "DMET": delta linkage metadata
-	secDeltaChunk uint32 = 0x4443484B // "DCHK": one app-state chunk record
-)
+// secDeltaChunk tags one app-state chunk record ("DCHK"); the delta
+// linkage tags (DMET gob-legacy, DMT2 binary) live in sections.go.
+const secDeltaChunk uint32 = 0x4443484B
 
 // ErrDeltaImage reports that Decode was handed a delta image, which
 // cannot be materialized on its own; use DecodeDelta and resolve the
@@ -61,6 +57,9 @@ func IndexAppState(app []byte, chunkBytes int) ChunkIndex {
 		chunkBytes = AppChunk
 	}
 	x := ChunkIndex{ChunkBytes: chunkBytes, Total: len(app)}
+	if len(app) > 0 {
+		x.CRCs = make([]uint32, 0, (len(app)+chunkBytes-1)/chunkBytes)
+	}
 	for off := 0; off < len(app); off += chunkBytes {
 		end := min(off+chunkBytes, len(app))
 		x.CRCs = append(x.CRCs, crc32.ChecksumIEEE(app[off:end]))
@@ -98,6 +97,10 @@ type DeltaChunk struct {
 // Delta is a decoded incremental image: every Image field except the
 // application state, plus the per-chunk records needed to rebuild it
 // from the parent generation's state.
+//
+// Uncompressed chunk Data subslices the buffer handed to DecodeDelta —
+// there is no per-chunk copy — so the caller must not mutate that
+// buffer while the Delta is in use.
 type Delta struct {
 	// Image carries the identity, vid store, drained messages, request
 	// results, and counters; Image.AppState is nil.
@@ -132,8 +135,15 @@ func (s DeltaStats) ChangedFraction() float64 {
 // generation's chunk index: chunks whose CRC (and length) match the
 // parent ship as "unchanged" records, everything else ships its bytes.
 // parentGen names the parent generation for diagnostics and chain
-// validation. Options.Compress gzips each changed chunk independently;
-// Options.ChunkSize must be unset or equal to parent.ChunkBytes.
+// validation. Options.Compress gzips each changed chunk independently
+// at Options.Tier; Options.ChunkSize must be unset or equal to
+// parent.ChunkBytes.
+//
+// Each chunk's CRC is computed once (a scan pass that sizes the output
+// exactly), and each changed chunk's bytes are then copied straight
+// into their output frame — so no byte of the application state is
+// copied more than once, and the output buffer never reallocates on
+// the uncompressed path.
 func EncodeDelta(img *Image, parent ChunkIndex, parentGen int, o Options) ([]byte, DeltaStats, error) {
 	if parent.ChunkBytes <= 0 {
 		return nil, DeltaStats{}, fmt.Errorf("ckptimg: delta parent index has no chunk size")
@@ -142,60 +152,85 @@ func EncodeDelta(img *Image, parent ChunkIndex, parentGen int, o Options) ([]byt
 		return nil, DeltaStats{}, fmt.Errorf("ckptimg: delta chunk size %d != parent index %d", o.ChunkSize, parent.ChunkBytes)
 	}
 	cs := parent.ChunkBytes
+	app := img.AppState
+	chunks := (len(app) + cs - 1) / cs
+
+	// Scan pass: CRC every chunk and tally the changed bytes, so the
+	// output buffer is grown once to its exact (uncompressed) size —
+	// regrowth would recopy already-written chunk data.
+	crcs := make([]uint32, chunks)
+	changedBytes := 0
+	st := DeltaStats{Chunks: chunks}
+	for i := 0; i < chunks; i++ {
+		off := i * cs
+		end := min(off+cs, len(app))
+		chunk := app[off:end]
+		crcs[i] = crc32.ChecksumIEEE(chunk)
+		if !(i < len(parent.CRCs) && parent.chunkLen(i) == len(chunk) && parent.CRCs[i] == crcs[i]) {
+			st.Changed++
+			changedBytes += len(chunk)
+		}
+	}
 
 	var buf bytes.Buffer
+	buf.Grow(16 + 25*chunks + changedBytes + img.tailSizeHint())
 	var hdr [16]byte
 	copy(hdr[:8], Magic[:])
 	binary.LittleEndian.PutUint32(hdr[8:12], Version)
-	flags := FlagDelta
-	if o.Compress {
-		flags |= FlagGzip
-	}
-	binary.LittleEndian.PutUint32(hdr[12:16], flags)
+	binary.LittleEndian.PutUint32(hdr[12:16], FlagDelta|o.headerFlags())
 	buf.Write(hdr[:])
 
 	if err := writeMetaSection(&buf, img); err != nil {
 		return nil, DeltaStats{}, err
 	}
 
-	app := img.AppState
-	chunks := (len(app) + cs - 1) / cs
-	if err := gobSection(&buf, secDeltaMeta, &deltaMeta{
+	if err := writeDeltaMetaSection(&buf, &deltaMeta{
 		ParentGen: parentGen, ParentLen: parent.Total,
 		NewLen: len(app), ChunkBytes: cs, Chunks: chunks,
 	}); err != nil {
 		return nil, DeltaStats{}, err
 	}
 
-	st := DeltaStats{Chunks: chunks}
+	// One pooled scratch buffer serves every compressed chunk.
+	var z *bytes.Buffer
+	if o.Compress {
+		z = getBuf()
+		defer putBuf(z)
+	}
+
 	for i := 0; i < chunks; i++ {
 		off := i * cs
 		end := min(off+cs, len(app))
 		chunk := app[off:end]
-		crc := crc32.ChecksumIEEE(chunk)
+		crc := crcs[i]
 		unchanged := i < len(parent.CRCs) && parent.chunkLen(i) == len(chunk) && parent.CRCs[i] == crc
 
-		rec := make([]byte, 9, 9+len(chunk))
+		var rec [9]byte
 		binary.LittleEndian.PutUint32(rec[0:4], uint32(i))
 		binary.LittleEndian.PutUint32(rec[5:9], crc)
-		if !unchanged {
-			rec[4] = 1
-			st.Changed++
-			data := chunk
-			if o.Compress {
-				var z bytes.Buffer
-				zw := gzip.NewWriter(&z)
-				if _, err := zw.Write(chunk); err != nil {
-					return nil, DeltaStats{}, fmt.Errorf("ckptimg: compressing delta chunk %d: %w", i, err)
-				}
-				if err := zw.Close(); err != nil {
-					return nil, DeltaStats{}, fmt.Errorf("ckptimg: compressing delta chunk %d: %w", i, err)
-				}
-				data = z.Bytes()
+		if unchanged {
+			if err := writeSection(&buf, secDeltaChunk, rec[:]); err != nil {
+				return nil, DeltaStats{}, err
 			}
-			rec = append(rec, data...)
+			continue
 		}
-		if err := writeSection(&buf, secDeltaChunk, rec); err != nil {
+		rec[4] = 1
+		data := chunk
+		if o.Compress {
+			z.Reset()
+			zw := getGzipWriter(z, o.Tier)
+			_, werr := zw.Write(chunk)
+			cerr := zw.Close()
+			putGzipWriter(o.Tier, zw)
+			if werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, DeltaStats{}, fmt.Errorf("ckptimg: compressing delta chunk %d: %w", i, werr)
+			}
+			data = z.Bytes()
+		}
+		if err := writeSection2(&buf, secDeltaChunk, rec[:], data); err != nil {
 			return nil, DeltaStats{}, err
 		}
 	}
@@ -217,20 +252,16 @@ func IsDelta(data []byte) bool {
 		binary.LittleEndian.Uint32(data[12:16])&FlagDelta != 0
 }
 
-// DecodeDelta validates and deserializes a delta image.
+// DecodeDelta validates and deserializes a delta image. Uncompressed
+// chunk payloads alias data (see Delta); everything else is copied.
 func DecodeDelta(data []byte) (*Delta, error) {
-	r := bytes.NewReader(data)
-	var hdr [16]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ckptimg: image truncated reading header (%w): %w", ErrCorrupt, err)
+	ver, flags, err := parseHeader(data)
+	if err != nil {
+		return nil, err
 	}
-	if !bytes.Equal(hdr[:8], Magic[:]) {
-		return nil, fmt.Errorf("ckptimg: bad magic %q (%w)", hdr[:8], ErrCorrupt)
-	}
-	if ver := binary.LittleEndian.Uint32(hdr[8:12]); ver != Version {
+	if ver != Version {
 		return nil, fmt.Errorf("ckptimg: unsupported delta image version %d (want %d)", ver, Version)
 	}
-	flags := binary.LittleEndian.Uint32(hdr[12:16])
 	if flags&^knownFlags != 0 {
 		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
 	}
@@ -243,22 +274,31 @@ func DecodeDelta(data []byte) (*Delta, error) {
 	var dm *deltaMeta
 	var seenChunks []bool
 	var sawMeta, sawEnd bool
+	c := &sectionCursor{data: data, off: 16}
 	for !sawEnd {
-		tag, payload, err := readSection(r)
+		tag, payload, err := c.next()
 		if err != nil {
 			return nil, err
 		}
 		if handled, err := decodeCommonSection(img, tag, payload); err != nil {
 			return nil, err
 		} else if handled {
-			sawMeta = sawMeta || tag == secMeta
+			sawMeta = sawMeta || tag == secMeta || tag == secMeta2
 			continue
 		}
 		switch tag {
-		case secDeltaMeta:
-			dm = &deltaMeta{}
-			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(dm); err != nil {
-				return nil, fmt.Errorf("ckptimg: decoding DMET section: %w", err)
+		case secDeltaMeta, secDeltaMet2:
+			if tag == secDeltaMet2 {
+				var err error
+				if dm, err = decodeDeltaMeta2(payload); err != nil {
+					return nil, err
+				}
+			} else {
+				// Gob-coded DMET written by earlier builds.
+				dm = &deltaMeta{}
+				if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(dm); err != nil {
+					return nil, fmt.Errorf("ckptimg: decoding DMET section: %w", err)
+				}
 			}
 			if dm.ChunkBytes <= 0 || dm.NewLen < 0 || dm.ParentLen < 0 ||
 				dm.Chunks != (dm.NewLen+dm.ChunkBytes-1)/dm.ChunkBytes {
@@ -319,7 +359,7 @@ func DecodeDelta(data []byte) (*Delta, error) {
 			return nil, fmt.Errorf("ckptimg: delta is missing the DCHK record for chunk %d (%w)", i, ErrCorrupt)
 		}
 	}
-	if r.Len() > 0 {
+	if c.rest() > 0 {
 		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
 	}
 	return d, nil
@@ -363,6 +403,9 @@ func (d *Delta) Apply(parentApp []byte) (*Image, error) {
 // what the store records for this generation without materializing it.
 func (d *Delta) Index() ChunkIndex {
 	x := ChunkIndex{ChunkBytes: d.ChunkBytes, Total: d.NewLen}
+	if len(d.Chunks) > 0 {
+		x.CRCs = make([]uint32, 0, len(d.Chunks))
+	}
 	for _, ch := range d.Chunks {
 		x.CRCs = append(x.CRCs, ch.CRC)
 	}

@@ -1,0 +1,158 @@
+package ckptimg
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// This file is the compression tier of the image codec: the knob that
+// trades compression ratio against encode speed, plus the pooled codec
+// state (gzip writers, gzip readers, scratch buffers) that keeps the
+// hot checkpoint path from re-allocating a compressor per section.
+//
+// Tiers matter because checkpoints have two distinct lifetimes: hot
+// generations written at high frequency (where encode speed gates the
+// checkpoint cut) and archival bases kept for provenance (where ratio
+// wins). The checkpoint store selects a tier per store via
+// ckptstore.Options.CompressTier.
+
+// CompressTier selects the flate effort of the gzip codec.
+type CompressTier int
+
+const (
+	// TierBalanced is gzip.DefaultCompression: the historical default,
+	// a middle ground between ratio and speed.
+	TierBalanced CompressTier = iota
+	// TierFast is flate BestSpeed — the fast tier for hot checkpoints,
+	// trading ratio for encode throughput. Images written under it carry
+	// FlagFastCompress.
+	TierFast
+	// TierMax is gzip.BestCompression — the archival tier for base
+	// generations that are kept long-term.
+	TierMax
+)
+
+// level maps the tier to a flate compression level.
+func (t CompressTier) level() int {
+	switch t {
+	case TierFast:
+		return gzip.BestSpeed
+	case TierMax:
+		return gzip.BestCompression
+	default:
+		return gzip.DefaultCompression
+	}
+}
+
+// idx bounds the tier into the pool array; unknown values act balanced.
+func (t CompressTier) idx() int {
+	if t < TierBalanced || t > TierMax {
+		return int(TierBalanced)
+	}
+	return int(t)
+}
+
+// String renders the tier name accepted by ParseCompressTier.
+func (t CompressTier) String() string {
+	switch t {
+	case TierFast:
+		return "fast"
+	case TierMax:
+		return "max"
+	default:
+		return "balanced"
+	}
+}
+
+// ParseCompressTier parses a tier name. The empty string and "balanced"
+// (or "default") select TierBalanced.
+func ParseCompressTier(s string) (CompressTier, error) {
+	switch s {
+	case "", "balanced", "default":
+		return TierBalanced, nil
+	case "fast":
+		return TierFast, nil
+	case "max":
+		return TierMax, nil
+	}
+	return TierBalanced, fmt.Errorf("ckptimg: unknown compression tier %q (want fast, balanced, or max)", s)
+}
+
+// ---------------------------------------------------------------------
+// pooled codec state
+//
+// Encoding one image touches a gzip writer per compressed section and a
+// scratch buffer per gob section; decoding touches a gzip reader per
+// compressed payload. All of them are Reset-able, so the pools below
+// turn that churn into steady-state reuse. Pools are safe for
+// concurrent use — the checkpoint store's worker pool encodes and
+// decodes many ranks at once.
+
+// maxPooledBuf bounds the capacity of scratch buffers returned to the
+// pool, so one giant image does not pin its buffer forever.
+const maxPooledBuf = 8 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// getBuf returns an empty pooled scratch buffer.
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// putBuf returns a scratch buffer to the pool. The caller must not use
+// any slice obtained from the buffer afterwards.
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+}
+
+// gzipWriterPools holds one writer pool per tier: a gzip.Writer keeps
+// its compression level across Reset, so writers of different tiers
+// cannot share a pool.
+var gzipWriterPools [int(TierMax) + 1]sync.Pool
+
+// getGzipWriter returns a pooled gzip writer of the given tier,
+// reset onto w.
+func getGzipWriter(w io.Writer, tier CompressTier) *gzip.Writer {
+	if zw, ok := gzipWriterPools[tier.idx()].Get().(*gzip.Writer); ok {
+		zw.Reset(w)
+		return zw
+	}
+	zw, err := gzip.NewWriterLevel(w, tier.level())
+	if err != nil {
+		// All tier levels are valid flate levels; this is unreachable.
+		panic(fmt.Sprintf("ckptimg: gzip level for tier %v: %v", tier, err))
+	}
+	return zw
+}
+
+// putGzipWriter returns a writer to its tier's pool. The caller must
+// have Closed (or Reset) it.
+func putGzipWriter(tier CompressTier, zw *gzip.Writer) {
+	gzipWriterPools[tier.idx()].Put(zw)
+}
+
+var gzipReaderPool sync.Pool
+
+// getGzipReader returns a pooled gzip reader reset onto r.
+func getGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if zr, ok := gzipReaderPool.Get().(*gzip.Reader); ok {
+		if err := zr.Reset(r); err != nil {
+			gzipReaderPool.Put(zr)
+			return nil, err
+		}
+		return zr, nil
+	}
+	return gzip.NewReader(r)
+}
+
+// putGzipReader returns a reader to the pool.
+func putGzipReader(zr *gzip.Reader) {
+	gzipReaderPool.Put(zr)
+}

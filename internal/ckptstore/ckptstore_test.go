@@ -132,14 +132,14 @@ func TestStoreFullGenerations(t *testing.T) {
 	if _, ok := s.Head(); ok {
 		t.Fatal("empty store has a head")
 	}
-	if _, err := s.MaterializeHead(); err == nil {
+	if _, _, err := s.MaterializeHead(); err == nil {
 		t.Fatal("materialized an empty store")
 	}
 	g0 := commitGen(t, s, 2, 3, func(r int) []byte { return appState(300, r) })
 	if !g0.Base() || g0.Seq != 0 || g0.Step != 3 {
 		t.Fatalf("generation %+v", g0)
 	}
-	imgs, err := s.MaterializeHead()
+	imgs, _, err := s.MaterializeHead()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestDeltaChainMaterializesBitIdentical(t *testing.T) {
 	// Every generation materializes to the exact app state of that
 	// generation, resolved through the chain.
 	for gen := 0; gen < 4; gen++ {
-		imgs, err := s.Materialize(gen)
+		imgs, _, err := s.Materialize(gen)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -223,7 +223,7 @@ func TestOpaquePayloadsStoredVerbatim(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Rank 0 must come back verbatim; rank 1 plans a delta, rank 0 a base.
-	imgs, err := s.MaterializeHead()
+	imgs, _, err := s.MaterializeHead()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestFSManifestResumesChain(t *testing.T) {
 	if g.Base() || g.Seq != 2 {
 		t.Fatalf("resumed generation %+v", g)
 	}
-	imgs, err := s2.MaterializeHead()
+	imgs, _, err := s2.MaterializeHead()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestCompressedDeltaRoundTrip(t *testing.T) {
 	for gen := 0; gen < 3; gen++ {
 		commitGen(t, s, 1, gen, func(int) []byte { return appState(1000, gen) })
 	}
-	imgs, err := s.MaterializeHead()
+	imgs, _, err := s.MaterializeHead()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,4 +51,37 @@
 //
 // Register custom backends (an object store, a burst buffer model) with
 // RegisterBackend; Options.Backend selects one by name.
+//
+// # Concurrency model
+//
+// All Store methods are safe to call concurrently from rank goroutines.
+// Internally the store distinguishes two kinds of work:
+//
+//   - Chain state (the generation list, the per-rank chunk indexes, the
+//     manifest) is guarded by one mutex. Commit holds it end to end, so
+//     generations are assigned dense sequence numbers and two
+//     concurrent Commits serialize.
+//   - Bulk per-rank work fans out to a bounded worker pool of
+//     Options.Workers goroutines (default GOMAXPROCS, 1 = serial). On
+//     Commit that is delta decode and chain validation, full-image
+//     decode and chunk indexing, and the backend Puts; on Materialize
+//     it is each rank's chain resolution (backend Gets, delta
+//     application, re-encode). Results land in rank-indexed slots, so
+//     output ordering is deterministic regardless of scheduling.
+//
+// The pool cancels on first error: no new rank starts once one fails,
+// and the lowest-ranked error is reported. A failed Commit deletes any
+// blobs it already wrote and leaves the chain and manifest untouched —
+// the backend never holds a partial generation.
+//
+// Materialize does not hold the chain mutex while resolving: committed
+// generations are immutable (blobs are never rewritten), so readers
+// proceed concurrently with an in-flight Commit of the next generation.
+// Backends must be safe for concurrent use (both built-ins are).
+//
+// Compression is configured per store: Options.Compress enables gzip,
+// Options.CompressTier picks the flate effort — ckptimg.TierFast
+// (flate BestSpeed, images flagged ckptimg.FlagFastCompress) for hot
+// checkpoints, ckptimg.TierMax for archival generations,
+// ckptimg.TierBalanced as the default middle ground.
 package ckptstore

@@ -1,0 +1,259 @@
+package ckptstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"manasim/internal/ckptimg"
+)
+
+// encodeGen encodes one generation of images for every rank against the
+// store's delta plan, without committing.
+func encodeGen(t *testing.T, s *Store, n, step int, app func(rank int) []byte) [][]byte {
+	t.Helper()
+	images := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		img := testImage(r, n, step, app(r))
+		var data []byte
+		var err error
+		if parent, pgen, ok := s.PlanDelta(r); ok {
+			data, _, err = ckptimg.EncodeDelta(img, parent, pgen, s.EncodeOptions())
+		} else {
+			data, err = ckptimg.EncodeOpts(img, s.EncodeOptions())
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[r] = data
+	}
+	return images
+}
+
+// TestParallelCommitMaterializeRace drives concurrent Commits and
+// Materializes over both backends with a multi-worker pool: one
+// goroutine extends the generation chain while readers materialize
+// every already-committed generation. Run under -race this is the
+// concurrency-safety proof for the parallel pipeline.
+func TestParallelCommitMaterializeRace(t *testing.T) {
+	const n, gens, readers = 4, 6, 3
+	for _, backend := range []string{"mem", "fs"} {
+		t.Run(backend, func(t *testing.T) {
+			opts := Options{
+				Backend: backend, Delta: true, ChunkBytes: 128,
+				ChainCap: 3, Workers: 4,
+			}
+			if backend == "fs" {
+				opts.Dir = t.TempDir()
+			}
+			s := MustOpen(n, opts)
+
+			var committed atomic.Int64
+			var wg sync.WaitGroup
+			errs := make(chan error, readers+1)
+
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for gen := 0; gen < gens; gen++ {
+					images := encodeGen(t, s, n, gen, func(r int) []byte { return appState(1000+r, gen) })
+					if _, err := s.Commit(images); err != nil {
+						errs <- fmt.Errorf("commit gen %d: %w", gen, err)
+						return
+					}
+					committed.Store(int64(gen + 1))
+				}
+			}()
+			for i := 0; i < readers; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						have := int(committed.Load())
+						if have == 0 {
+							continue
+						}
+						for seq := 0; seq < have; seq++ {
+							imgs, stats, err := s.Materialize(seq)
+							if err != nil {
+								errs <- fmt.Errorf("materialize gen %d: %w", seq, err)
+								return
+							}
+							for r, data := range imgs {
+								img, err := ckptimg.Decode(data)
+								if err != nil {
+									errs <- fmt.Errorf("gen %d rank %d: %w", seq, r, err)
+									return
+								}
+								if !bytes.Equal(img.AppState, appState(1000+r, seq)) {
+									errs <- fmt.Errorf("gen %d rank %d: app state mismatch", seq, r)
+									return
+								}
+								if stats[r].BaseBytes <= 0 {
+									errs <- fmt.Errorf("gen %d rank %d: no base bytes in %+v", seq, r, stats[r])
+									return
+								}
+							}
+						}
+						if have == gens {
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCommitBadDeltaCancelsAndDiscards proves first-error cancellation
+// end to end: one rank's delta image is corrupt, so Commit fails, the
+// chain records nothing, and the backend holds no blob of the failed
+// generation.
+func TestCommitBadDeltaCancelsAndDiscards(t *testing.T) {
+	const n = 4
+	s := MustOpen(n, Options{Delta: true, ChunkBytes: 128, Workers: 4})
+	commitGen(t, s, n, 0, func(r int) []byte { return appState(1000, 0) })
+
+	images := encodeGen(t, s, n, 1, func(r int) []byte { return appState(1000, 1) })
+	// Flip a payload bit in rank 2's delta: IsDelta still holds (the
+	// header is intact) but DecodeDelta fails its section CRC.
+	images[2][len(images[2])/2] ^= 0x40
+	if _, err := s.Commit(images); err == nil {
+		t.Fatal("commit of a corrupt delta succeeded")
+	} else if !strings.Contains(err.Error(), "rank 2") {
+		t.Fatalf("error does not name the failing rank: %v", err)
+	}
+
+	if gens := s.Generations(); len(gens) != 1 {
+		t.Fatalf("failed commit recorded a generation: %v", gens)
+	}
+	keys, err := s.b.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if strings.HasPrefix(k, "gen0001/") {
+			t.Fatalf("failed commit left blob %q behind", k)
+		}
+	}
+	// The store still accepts the repaired generation.
+	commitGen(t, s, n, 1, func(r int) []byte { return appState(1000, 1) })
+	if gens := s.Generations(); len(gens) != 2 || gens[1].DeltaRanks != n {
+		t.Fatalf("recovery generation: %+v", s.Generations())
+	}
+}
+
+// failingBackend wraps a backend and fails Put for one key.
+type failingBackend struct {
+	Backend
+	failKey string
+}
+
+func (b *failingBackend) Put(key string, data []byte) error {
+	if key == b.failKey {
+		return fmt.Errorf("injected put failure for %q", key)
+	}
+	return b.Backend.Put(key, data)
+}
+
+// TestCommitPutFailureLeavesNoPartialGeneration injects a backend
+// write failure mid-generation: the sibling blobs that did land must be
+// deleted and the manifest must not advance.
+func TestCommitPutFailureLeavesNoPartialGeneration(t *testing.T) {
+	const n = 8
+	inner := newMemBackend()
+	s := &Store{
+		b:     &failingBackend{Backend: inner, failKey: key(0, 5)},
+		n:     n,
+		opts:  Options{Workers: 4}.withDefaults(),
+		index: make([]rankIndex, n),
+	}
+	images := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		data, err := ckptimg.Encode(testImage(r, n, 0, appState(500, 0)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[r] = data
+	}
+	if _, err := s.Commit(images); err == nil {
+		t.Fatal("commit over a failing backend succeeded")
+	}
+	if gens := s.Generations(); len(gens) != 0 {
+		t.Fatalf("failed commit recorded a generation: %v", gens)
+	}
+	keys, err := inner.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("failed commit left blobs behind: %v", keys)
+	}
+}
+
+// TestMaterializeChainStats pins the delta-aware cost model's inputs:
+// links, base bytes, and delta bytes must equal what the backend holds.
+func TestMaterializeChainStats(t *testing.T) {
+	s := MustOpen(1, Options{Delta: true, ChunkBytes: 128, ChainCap: 8})
+	for gen := 0; gen < 3; gen++ {
+		commitGen(t, s, 1, gen, func(int) []byte { return appState(1000, gen) })
+	}
+	gens := s.Generations()
+	_, stats, err := s.Materialize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChainStats{
+		BaseBytes:  gens[0].Bytes,
+		DeltaBytes: gens[1].Bytes + gens[2].Bytes,
+		Links:      2,
+	}
+	if stats[0] != want {
+		t.Fatalf("chain stats %+v, want %+v", stats[0], want)
+	}
+	// A base generation involves no chain.
+	_, stats, err = s.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Links != 0 || stats[0].BaseBytes != gens[0].Bytes || stats[0].DeltaBytes != 0 {
+		t.Fatalf("base chain stats %+v", stats[0])
+	}
+}
+
+// TestForEachRankFirstError pins the pool's error semantics: the
+// lowest-ranked error wins and late ranks are cancelled.
+func TestForEachRankFirstError(t *testing.T) {
+	var ran atomic.Int64
+	err := forEachRank(64, 4, func(r int) error {
+		ran.Add(1)
+		if r == 3 || r == 7 {
+			return fmt.Errorf("rank %d failed", r)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got >= 64 {
+		t.Fatalf("pool did not cancel: %d ranks ran", got)
+	}
+	// Serial path: the first failing rank's error, exactly.
+	err = forEachRank(8, 1, func(r int) error {
+		if r >= 2 {
+			return fmt.Errorf("rank %d failed", r)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "rank 2 failed" {
+		t.Fatalf("serial err = %v", err)
+	}
+}

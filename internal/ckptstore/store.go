@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"manasim/internal/ckptimg"
@@ -28,6 +29,15 @@ type Options struct {
 	// Compress gzips image app state (full images whole, delta images
 	// per changed chunk).
 	Compress bool
+	// CompressTier selects the flate effort when Compress is set:
+	// ckptimg.TierFast trades ratio for encode speed (hot checkpoints,
+	// FlagFastCompress), ckptimg.TierMax is the archival tier,
+	// ckptimg.TierBalanced (default) the middle ground.
+	CompressTier ckptimg.CompressTier
+	// Workers bounds the worker pool that Commit and Materialize fan
+	// per-rank decode/index/backend work out to (0 = GOMAXPROCS; 1 =
+	// serial).
+	Workers int
 }
 
 // withDefaults fills unset fields.
@@ -40,6 +50,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ChunkBytes <= 0 {
 		o.ChunkBytes = ckptimg.AppChunk
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -62,6 +75,22 @@ type Generation struct {
 // Base reports whether the generation is a full base.
 func (g Generation) Base() bool { return g.DeltaRanks == 0 }
 
+// ChainStats describes what one rank's Materialize actually read from
+// the backend: the encoded size of the nearest base image plus the
+// encoded sizes of the delta links applied on top of it. The restart
+// cost model charges base + each delta read individually, instead of
+// the materialized full image that never existed on storage.
+type ChainStats struct {
+	// BaseBytes is the encoded size of the rank's nearest base image
+	// (or of the rank's full image when no chain was involved).
+	BaseBytes int64
+	// DeltaBytes is the total encoded size of the delta links read.
+	DeltaBytes int64
+	// Links is the number of delta links resolved; 0 means the rank's
+	// image at that generation was already full.
+	Links int
+}
+
 // rankIndex is one rank's chunk index at the head generation; Valid is
 // false when the rank's last image could not be indexed (opaque bytes).
 type rankIndex struct {
@@ -82,7 +111,8 @@ type manifest struct {
 const manifestKey = "manifest"
 
 // Store is a generation-chained checkpoint store for one n-rank job
-// lineage. All methods are safe for concurrent use by rank goroutines.
+// lineage. All methods are safe for concurrent use by rank goroutines;
+// see the package documentation for the concurrency model.
 type Store struct {
 	mu   sync.Mutex
 	b    Backend
@@ -167,9 +197,22 @@ func (s *Store) PlanDelta(rank int) (parent ckptimg.ChunkIndex, parentGen int, o
 }
 
 // EncodeOptions returns the ckptimg options matching the store's
-// configuration, so rank-side encodes chunk at the store's granularity.
+// configuration, so rank-side encodes chunk at the store's granularity
+// and compress at its tier.
 func (s *Store) EncodeOptions() ckptimg.Options {
-	return ckptimg.Options{Compress: s.opts.Compress, ChunkSize: s.opts.ChunkBytes}
+	return ckptimg.Options{
+		Compress:  s.opts.Compress,
+		Tier:      s.opts.CompressTier,
+		ChunkSize: s.opts.ChunkBytes,
+	}
+}
+
+// rankCommit is the outcome of validating one rank's image on the
+// commit path: everything the serial merge needs, produced in parallel.
+type rankCommit struct {
+	step  int // checkpoint step the image claims, -1 if unparseable
+	delta bool
+	index rankIndex
 }
 
 // Commit records one complete generation: exactly one encoded image per
@@ -178,66 +221,98 @@ func (s *Store) EncodeOptions() ckptimg.Options {
 // that parse update the rank's chunk index; opaque payloads are stored
 // verbatim and drop the rank's index (the next generation falls back to
 // a base for that rank).
+//
+// The per-rank work — delta decode and chain validation, full-image
+// decode and chunk indexing, backend writes — fans out to the store's
+// worker pool (Options.Workers). A failing rank cancels the pool, any
+// blobs already written for the generation are deleted, and neither the
+// in-memory chain nor the manifest records it: a failed commit leaves
+// no partial generation behind.
 func (s *Store) Commit(images [][]byte) (Generation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(images) != s.n {
 		return Generation{}, fmt.Errorf("ckptstore: commit of %d images for a %d-rank store", len(images), s.n)
 	}
-	seq := len(s.gens)
-	gen := Generation{Seq: seq, Step: -1}
-	newIndex := make([]rankIndex, s.n)
 	for r, data := range images {
 		if data == nil {
 			return Generation{}, fmt.Errorf("ckptstore: commit with no image for rank %d", r)
 		}
-		gen.Bytes += int64(len(data))
+	}
+	seq := len(s.gens)
+
+	// Phase 1: validate and index every rank in parallel. The work is
+	// pure per-rank decoding; results land in rank-indexed slots so the
+	// merge below is deterministic.
+	results := make([]rankCommit, s.n)
+	err := forEachRank(s.n, s.opts.Workers, func(r int) error {
+		data := images[r]
+		res := &rankCommit{step: -1}
 		switch {
 		case ckptimg.IsDelta(data):
 			d, err := ckptimg.DecodeDelta(data)
 			if err != nil {
-				return Generation{}, fmt.Errorf("ckptstore: rank %d delta: %w", r, err)
+				return fmt.Errorf("ckptstore: rank %d delta: %w", r, err)
 			}
 			if seq == 0 || d.ParentGen != seq-1 {
-				return Generation{}, fmt.Errorf("ckptstore: rank %d delta parents generation %d, head is %d", r, d.ParentGen, seq-1)
+				return fmt.Errorf("ckptstore: rank %d delta parents generation %d, head is %d", r, d.ParentGen, seq-1)
 			}
 			if d.ChunkBytes != s.opts.ChunkBytes {
-				return Generation{}, fmt.Errorf("ckptstore: rank %d delta chunk size %d != store %d", r, d.ChunkBytes, s.opts.ChunkBytes)
+				return fmt.Errorf("ckptstore: rank %d delta chunk size %d != store %d", r, d.ChunkBytes, s.opts.ChunkBytes)
 			}
-			if gen.Step < 0 {
-				gen.Step = d.Image.Step
-			}
-			gen.DeltaRanks++
-			newIndex[r] = rankIndex{Valid: true, X: d.Index()}
+			res.step = d.Image.Step
+			res.delta = true
+			res.index = rankIndex{Valid: true, X: d.Index()}
 		case !s.opts.Delta:
 			// No delta tier: the index would never be consulted, so a
-			// cheap META peek (step only, first parseable image) keeps
-			// the commit path from decoding — and possibly
-			// decompressing — every image.
-			if gen.Step < 0 {
-				if img, err := ckptimg.PeekMeta(data); err == nil {
-					gen.Step = img.Step
-				}
+			// cheap META peek (step only) keeps the commit path from
+			// decoding — and possibly decompressing — every image.
+			if img, err := ckptimg.PeekMeta(data); err == nil {
+				res.step = img.Step
 			}
-			newIndex[r] = rankIndex{}
 		default:
 			img, err := ckptimg.Decode(data)
 			if err != nil {
 				// Opaque payload: store it, forget the rank's index.
-				newIndex[r] = rankIndex{}
 				break
 			}
-			if gen.Step < 0 {
-				gen.Step = img.Step
-			}
-			newIndex[r] = rankIndex{Valid: true, X: ckptimg.IndexAppState(img.AppState, s.opts.ChunkBytes)}
+			res.step = img.Step
+			res.index = rankIndex{Valid: true, X: ckptimg.IndexAppState(img.AppState, s.opts.ChunkBytes)}
 		}
+		results[r] = *res
+		return nil
+	})
+	if err != nil {
+		return Generation{}, err
 	}
-	for r, data := range images {
-		if err := s.b.Put(key(seq, r), data); err != nil {
-			return Generation{}, err
+
+	// Serial merge, in rank order: the generation step is the first
+	// parseable rank's, exactly as the serial path chose it.
+	gen := Generation{Seq: seq, Step: -1}
+	newIndex := make([]rankIndex, s.n)
+	for r := range results {
+		gen.Bytes += int64(len(images[r]))
+		if gen.Step < 0 && results[r].step >= 0 {
+			gen.Step = results[r].step
 		}
+		if results[r].delta {
+			gen.DeltaRanks++
+		}
+		newIndex[r] = results[r].index
 	}
+
+	// Phase 2: persist every rank blob in parallel. On any failure the
+	// generation's blobs are deleted so the backend holds no torso.
+	if err := forEachRank(s.n, s.opts.Workers, func(r int) error {
+		return s.b.Put(key(seq, r), images[r])
+	}); err != nil {
+		s.discardGeneration(seq)
+		return Generation{}, err
+	}
+
+	// Phase 3: flip the in-memory chain and the manifest together; a
+	// manifest failure rolls both back and discards the blobs.
+	oldChain, oldIndex := s.chain, s.index
 	s.gens = append(s.gens, gen)
 	s.index = newIndex
 	if gen.DeltaRanks > 0 {
@@ -246,9 +321,20 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 		s.chain = 0
 	}
 	if err := s.persistManifest(); err != nil {
+		s.gens = s.gens[:len(s.gens)-1]
+		s.chain, s.index = oldChain, oldIndex
+		s.discardGeneration(seq)
 		return Generation{}, err
 	}
 	return gen, nil
+}
+
+// discardGeneration removes every blob a failed commit may have written
+// for seq; the caller holds s.mu.
+func (s *Store) discardGeneration(seq int) {
+	for r := 0; r < s.n; r++ {
+		_ = s.b.Delete(key(seq, r))
+	}
 }
 
 // persistManifest rewrites the manifest blob; the caller holds s.mu.
@@ -282,69 +368,85 @@ func (s *Store) Head() (Generation, bool) {
 
 // Materialize returns full encoded images — one per rank, restartable
 // with ckptimg.Decode — for the given generation, resolving each rank's
-// base+delta chain. Base images are returned bit-for-bit as stored.
-func (s *Store) Materialize(seq int) ([][]byte, error) {
+// base+delta chain, plus per-rank ChainStats describing the reads the
+// resolution performed. Base images are returned bit-for-bit as stored.
+//
+// Rank chains resolve in parallel on the store's worker pool; results
+// are rank-ordered regardless of scheduling. Committed generations are
+// immutable, so Materialize never blocks a concurrent Commit.
+func (s *Store) Materialize(seq int) ([][]byte, []ChainStats, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if seq < 0 || seq >= len(s.gens) {
-		return nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, len(s.gens))
+	nGens := len(s.gens)
+	s.mu.Unlock()
+	if seq < 0 || seq >= nGens {
+		return nil, nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, nGens)
 	}
 	out := make([][]byte, s.n)
-	for r := 0; r < s.n; r++ {
-		data, err := s.materializeRank(seq, r)
+	stats := make([]ChainStats, s.n)
+	err := forEachRank(s.n, s.opts.Workers, func(r int) error {
+		data, cs, err := s.materializeRank(seq, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[r] = data
+		out[r], stats[r] = data, cs
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return out, nil
+	return out, stats, nil
 }
 
 // MaterializeHead materializes the most recent generation.
-func (s *Store) MaterializeHead() ([][]byte, error) {
+func (s *Store) MaterializeHead() ([][]byte, []ChainStats, error) {
 	s.mu.Lock()
 	n := len(s.gens)
 	s.mu.Unlock()
 	if n == 0 {
-		return nil, fmt.Errorf("ckptstore: store has no generations")
+		return nil, nil, fmt.Errorf("ckptstore: store has no generations")
 	}
 	return s.Materialize(n - 1)
 }
 
-// materializeRank resolves one rank's chain at seq; the caller holds
-// s.mu.
-func (s *Store) materializeRank(seq, rank int) ([]byte, error) {
+// materializeRank resolves one rank's chain at seq. It runs without
+// s.mu: it touches only the backend (safe for concurrent use) and blobs
+// of committed generations, which are never rewritten.
+func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 	data, err := s.b.Get(key(seq, rank))
 	if err != nil {
-		return nil, err
+		return nil, ChainStats{}, err
 	}
 	if !ckptimg.IsDelta(data) {
-		return data, nil
+		return data, ChainStats{BaseBytes: int64(len(data))}, nil
 	}
 	// Walk back to the rank's nearest base, stacking deltas.
+	var st ChainStats
 	var deltas []*ckptimg.Delta
 	cur := seq
 	for ckptimg.IsDelta(data) {
 		d, err := ckptimg.DecodeDelta(data)
 		if err != nil {
-			return nil, fmt.Errorf("ckptstore: generation %d rank %d: %w", cur, rank, err)
+			return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d rank %d: %w", cur, rank, err)
 		}
 		if d.ParentGen != cur-1 {
-			return nil, fmt.Errorf("ckptstore: generation %d rank %d delta parents %d, want %d", cur, rank, d.ParentGen, cur-1)
+			return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d rank %d delta parents %d, want %d", cur, rank, d.ParentGen, cur-1)
 		}
+		st.DeltaBytes += int64(len(data))
+		st.Links++
 		deltas = append(deltas, d)
 		cur--
 		if cur < 0 {
-			return nil, fmt.Errorf("ckptstore: rank %d delta chain has no base", rank)
+			return nil, ChainStats{}, fmt.Errorf("ckptstore: rank %d delta chain has no base", rank)
 		}
 		data, err = s.b.Get(key(cur, rank))
 		if err != nil {
-			return nil, err
+			return nil, ChainStats{}, err
 		}
 	}
+	st.BaseBytes = int64(len(data))
 	base, err := ckptimg.Decode(data)
 	if err != nil {
-		return nil, fmt.Errorf("ckptstore: generation %d rank %d base: %w", cur, rank, err)
+		return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d rank %d base: %w", cur, rank, err)
 	}
 	// Apply the deltas forward, oldest first.
 	app := base.AppState
@@ -352,9 +454,13 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, error) {
 	for i := len(deltas) - 1; i >= 0; i-- {
 		img, err = deltas[i].Apply(app)
 		if err != nil {
-			return nil, fmt.Errorf("ckptstore: materializing generation %d rank %d: %w", seq-i, rank, err)
+			return nil, ChainStats{}, fmt.Errorf("ckptstore: materializing generation %d rank %d: %w", seq-i, rank, err)
 		}
 		app = img.AppState
 	}
-	return ckptimg.EncodeOpts(img, s.EncodeOptions())
+	out, err := ckptimg.EncodeOpts(img, s.EncodeOptions())
+	if err != nil {
+		return nil, ChainStats{}, err
+	}
+	return out, st, nil
 }

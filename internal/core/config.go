@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"manasim/internal/ckpt"
+	"manasim/internal/ckptimg"
 	"manasim/internal/ckptstore"
 	"manasim/internal/cluster"
 	"manasim/internal/fsim"
@@ -86,6 +87,16 @@ type Config struct {
 	// images (ckptimg format v3). When Store is set, the store's own
 	// Compress option governs instead.
 	CompressImages bool
+	// CompressTier selects the flate effort of compressed images on the
+	// implicit store: ckptimg.TierFast (BestSpeed, hot checkpoints),
+	// ckptimg.TierBalanced (default), or ckptimg.TierMax (archival).
+	// When Store is set, the store's own tier governs instead.
+	CompressTier ckptimg.CompressTier
+	// Workers bounds the implicit checkpoint store's worker pool — the
+	// fan-out of per-rank decode/index/backend work on Commit and
+	// Materialize (0 = GOMAXPROCS, 1 = serial). When Store is set, the
+	// store's own Workers option governs instead.
+	Workers int
 	// Store is the generation-chained checkpoint store the job delivers
 	// into and restarts from. Nil gets a fresh in-memory store whose
 	// delta and compression modes follow DeltaImages / CompressImages;
@@ -130,7 +141,12 @@ func (c Config) ckptStoreFor(n int) (*ckptstore.Store, error) {
 		}
 		return c.Store, nil
 	}
-	return ckptstore.Open(n, ckptstore.Options{Delta: c.DeltaImages, Compress: c.CompressImages})
+	return ckptstore.Open(n, ckptstore.Options{
+		Delta:        c.DeltaImages,
+		Compress:     c.CompressImages,
+		CompressTier: c.CompressTier,
+		Workers:      c.Workers,
+	})
 }
 
 // newStore builds the configured vid store for a lower half with the

@@ -93,6 +93,13 @@ func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
 // The configuration's implementation may differ from the one the images
 // were taken under if the images carry uniform handles (Section 9).
 func RestartJob(cfg Config, images [][]byte, factory app.Factory) (*Session, error) {
+	return restartJob(cfg, images, nil, factory)
+}
+
+// restartJob is RestartJob plus the optional per-rank chain statistics
+// of a store materialization, which switch the filesystem model to the
+// delta-aware restart cost (base + each delta link read individually).
+func restartJob(cfg Config, images [][]byte, chains []ckptstore.ChainStats, factory app.Factory) (*Session, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -129,7 +136,11 @@ func RestartJob(cfg Config, images [][]byte, factory app.Factory) (*Session, err
 	s.job = cluster.New(n, cfg.Factory, cfg.Host.Net)
 	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
 		img := byRank[rank]
-		rt, err := NewRuntimeFromImage(cfg, proc, clock, s.Co, img)
+		var chain *ckptstore.ChainStats
+		if chains != nil && img.Rank < len(chains) {
+			chain = &chains[img.Rank]
+		}
+		rt, err := newRuntimeFromImage(cfg, proc, clock, s.Co, img, chain)
 		if err != nil {
 			return err
 		}
@@ -252,17 +263,20 @@ func Restart(cfg Config, images [][]byte, factory app.Factory) (Stats, error) {
 // RestartJobFromStore resumes a job from the store's most recent
 // generation, materializing base+delta chains into full images. The
 // session keeps delivering into the same store, so checkpoints taken
-// after the restart extend the generation chain.
+// after the restart extend the generation chain. Restart read cost is
+// charged per chain link: the stored base plus each delta image read
+// individually (the delta-aware cost model), not the materialized full
+// image that never existed on storage.
 func RestartJobFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (*Session, error) {
 	if st == nil {
 		return nil, fmt.Errorf("mana: restart from store: no store")
 	}
-	images, err := st.MaterializeHead()
+	images, chains, err := st.MaterializeHead()
 	if err != nil {
 		return nil, fmt.Errorf("mana: restart: %w", err)
 	}
 	cfg.Store = st
-	return RestartJob(cfg, images, factory)
+	return restartJob(cfg, images, chains, factory)
 }
 
 // RestartFromStore resumes from the store's head generation and waits

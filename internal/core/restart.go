@@ -6,6 +6,7 @@ import (
 
 	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
+	"manasim/internal/ckptstore"
 	"manasim/internal/mpi"
 	"manasim/internal/simtime"
 	"manasim/internal/splitproc"
@@ -20,6 +21,17 @@ import (
 // than the one the image was taken under, provided the image was taken
 // with uniform handles (Section 9).
 func NewRuntimeFromImage(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *Coordinator, img *ckptimg.Image) (*Runtime, error) {
+	return newRuntimeFromImage(cfg, lower, clock, co, img, nil)
+}
+
+// newRuntimeFromImage is NewRuntimeFromImage with the delta-aware
+// restart cost model: when chain describes the base+delta reads that
+// materialized the image, the filesystem model charges those reads —
+// base first, then each delta link individually — instead of a single
+// read of a full image that never existed on storage. Each link pays
+// the per-read startup cost, so deep chains (large ChainCap) visibly
+// slow restart while shallow ones stay near a plain base read.
+func newRuntimeFromImage(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *Coordinator, img *ckptimg.Image, chain *ckptstore.ChainStats) (*Runtime, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -64,8 +76,19 @@ func NewRuntimeFromImage(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *C
 	for _, rr := range img.ReqResults {
 		rt.reqResults[rr.Virt] = rr.St
 	}
-	// Reading the image back is charged to the restart.
-	rt.clock.Advance(cfg.FS.ReadCost(img.TotalBytes(0) + int64(len(img.AppState))))
+	// Reading the image back is charged to the restart: the stored
+	// base plus each delta link for a materialized chain, the full
+	// image otherwise.
+	if chain != nil && chain.Links > 0 {
+		cost := cfg.FS.ReadCost(chain.BaseBytes + img.ModeledBytes)
+		per := chain.DeltaBytes / int64(chain.Links)
+		for i := 0; i < chain.Links; i++ {
+			cost += cfg.FS.ReadCost(per)
+		}
+		rt.clock.Advance(cost)
+	} else {
+		rt.clock.Advance(cfg.FS.ReadCost(img.TotalBytes(0) + int64(len(img.AppState))))
+	}
 
 	markResolvedCaller(lower)
 	if err := rt.initManaComm(); err != nil {

@@ -75,11 +75,11 @@ func TestDeltaChainRoundTripAllImpls(t *testing.T) {
 
 			// Bit-identical application state at the same generation,
 			// full chain vs materialized base+delta chain.
-			fullImgs, err := fullStore.Materialize(1)
+			fullImgs, _, err := fullStore.Materialize(1)
 			if err != nil {
 				t.Fatal(err)
 			}
-			deltaImgs, err := deltaStore.Materialize(1)
+			deltaImgs, _, err := deltaStore.Materialize(1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -213,7 +213,7 @@ func TestKilledRankDiscardsGeneration(t *testing.T) {
 	if gens := st.Generations(); len(gens) != 0 {
 		t.Fatalf("store recorded %d generations from a failed checkpoint", len(gens))
 	}
-	if _, err := st.MaterializeHead(); err == nil {
+	if _, _, err := st.MaterializeHead(); err == nil {
 		t.Fatal("materialized a store with no complete generation")
 	}
 

@@ -132,6 +132,122 @@ func DeltaImages(opts Options) ([]DeltaRow, error) {
 	return rows, nil
 }
 
+// DeltaChainRow is one point of the restart-cost sweep: the same
+// checkpoint cadence driven through stores of different ChainCap, so
+// the head generation sits on delta chains of different depth when the
+// final restart resolves it. The delta-aware cost model charges the
+// base plus each delta link read individually, so deep chains pay more
+// restart virtual time while shallow ones store more bytes.
+type DeltaChainRow struct {
+	// ChainCap is the store's consecutive-delta bound.
+	ChainCap int
+	// Gens is the number of generations committed by the cadence.
+	Gens int
+	// HeadLinks is the delta-chain depth the final restart resolved.
+	HeadLinks int
+	// StoredKB is the total bytes the backend holds across generations.
+	StoredKB float64
+	// RestartVTS is the final restarted segment's virtual time.
+	RestartVTS float64
+	// RestartOK records checksum equality with an uninterrupted run.
+	RestartOK bool
+}
+
+// DeltaChainSweep measures restart cost against chain depth: one
+// application checkpointed five times along a restart chain, with
+// ChainCap swept so the final restart resolves head chains of depth 0
+// (every generation a base) up to 4 (one base plus four deltas).
+func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
+	opts = opts.normalized()
+	spec, err := apps.ByName("comd")
+	if err != nil {
+		return nil, err
+	}
+	factory, err := impls.Get("mpich")
+	if err != nil {
+		return nil, err
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = 8
+	in.SimSteps = 12
+	ckptSteps := []int{2, 4, 6, 8, 10}
+
+	base := mana.Config{ImplName: "mpich", Factory: factory, FS: fsim.NFSv3()}
+	plain, _, err := mana.Run(base, in.Ranks, spec.New(in), -1)
+	if err != nil {
+		return nil, fmt.Errorf("delta chain sweep baseline: %w", err)
+	}
+
+	var rows []DeltaChainRow
+	for _, chainCap := range []int{0, 1, 2, 4} {
+		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
+			Delta: chainCap > 0, ChainCap: chainCap, ChunkBytes: deltaChunkBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg := base
+		cfg.Store = st
+		cfg.ExitAtCheckpoint = true
+		if _, _, err := mana.Run(cfg, in.Ranks, spec.New(in), ckptSteps[0]); err != nil {
+			return nil, fmt.Errorf("delta chain sweep cap=%d gen0: %w", chainCap, err)
+		}
+		for _, at := range ckptSteps[1:] {
+			s, err := mana.RestartJobFromStore(cfg, st, spec.New(in))
+			if err != nil {
+				return nil, fmt.Errorf("delta chain sweep cap=%d restart@%d: %w", chainCap, at, err)
+			}
+			s.Co.RequestCheckpointAtStep(at)
+			if _, err := s.Wait(); err != nil {
+				return nil, fmt.Errorf("delta chain sweep cap=%d ckpt@%d: %w", chainCap, at, err)
+			}
+		}
+		cfg.ExitAtCheckpoint = false
+		rst, err := mana.RestartFromStore(cfg, st, spec.New(in))
+		if err != nil {
+			return nil, fmt.Errorf("delta chain sweep cap=%d final restart: %w", chainCap, err)
+		}
+
+		gens := st.Generations()
+		links := 0
+		for i := len(gens) - 1; i >= 0 && !gens[i].Base(); i-- {
+			links++
+		}
+		var stored int64
+		for _, g := range gens {
+			stored += g.Bytes
+		}
+		row := DeltaChainRow{
+			ChainCap: chainCap, Gens: len(gens), HeadLinks: links,
+			StoredKB:   float64(stored) / 1024,
+			RestartVTS: rst.VT.Seconds(),
+			RestartOK:  slices.Equal(plain.Checksums, rst.Checksums),
+		}
+		if opts.Logf != nil {
+			opts.Logf("delta chain cap=%d: links=%d stored=%.1fKB restart-vt=%.1fs ok=%v",
+				chainCap, row.HeadLinks, row.StoredKB, row.RestartVTS, row.RestartOK)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteDeltaChain renders the restart-cost-versus-chain-depth sweep.
+func WriteDeltaChain(w io.Writer, rows []DeltaChainRow) {
+	title := "Delta-aware restart cost: chain depth vs ChainCap (base + per-link reads)"
+	fmt.Fprintf(w, "%s\n%s\n%9s %6s %11s %12s %14s %10s\n", title, strings.Repeat("=", len(title)),
+		"ChainCap", "Gens", "Head links", "Stored KB", "Restart VT (s)", "Restart")
+	for _, r := range rows {
+		status := "ok"
+		if !r.RestartOK {
+			status = "MISMATCH"
+		}
+		fmt.Fprintf(w, "%9d %6d %11d %12.1f %14.1f %10s\n",
+			r.ChainCap, r.Gens, r.HeadLinks, r.StoredKB, r.RestartVTS, status)
+	}
+	fmt.Fprintln(w)
+}
+
 // WriteDelta renders the incremental-checkpoint comparison.
 func WriteDelta(w io.Writer, rows []DeltaRow) {
 	title := "Incremental images: full vs delta generations (arXiv:1906.05020)"
