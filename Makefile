@@ -44,7 +44,7 @@ bench-smoke: bench
 .PHONY: bench-delta
 bench-delta:
 	@echo "Running delta codec and chain-materialization benchmarks..."
-	@$(GO) test -run '^$$' -bench 'BenchmarkDeltaEncode|BenchmarkChainMaterialize' -benchtime 3x .
+	@$(GO) test -run '^$$' -bench 'BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize' -benchtime 3x .
 
 .PHONY: bench-drain
 bench-drain:
@@ -52,8 +52,10 @@ bench-drain:
 	@$(GO) test -run '^$$' -bench BenchmarkCheckpointDrain -benchtime 3x .
 
 # Checkpoint-pipeline benchmarks: the codec and store hot paths this
-# repo optimizes PR over PR.
-BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkCompressTiers'
+# repo optimizes PR over PR. ChainMaterialize (batch) and
+# StreamMaterialize (chunk-pipelined) run on the same store shape, so
+# their medians compare directly.
+BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers'
 
 .PHONY: bench-ckpt
 bench-ckpt:
@@ -74,6 +76,9 @@ bench-compare:
 		echo "No bench-old.txt baseline; saved this run as the baseline."; \
 	fi
 
+# race-ckpt covers the parallel commit/materialize pool AND the
+# streaming restart pipeline (ckptstore stream_test.go exercises the
+# per-rank link-lookahead reads across pool widths).
 .PHONY: race-ckpt
 race-ckpt:
 	@echo "Running the checkpoint subsystem under the race detector..."

@@ -419,38 +419,95 @@ func BenchmarkChainMaterialize(b *testing.B) {
 	const size = 4 << 20
 	for _, chain := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("deltas=%d", chain), func(b *testing.B) {
-			st := ckptstore.MustOpen(1, ckptstore.Options{Delta: true, ChainCap: chain + 1})
-			for gen := 0; gen <= chain; gen++ {
-				img := benchImage(size, gen, 0.1)
-				var data []byte
-				var err error
-				if parent, pgen, ok := st.PlanDelta(0); ok {
-					data, _, err = ckptimg.EncodeDelta(img, parent, pgen, st.EncodeOptions())
-				} else {
-					data, err = ckptimg.EncodeOpts(img, st.EncodeOptions())
-				}
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := st.Commit([][]byte{data}); err != nil {
-					b.Fatal(err)
-				}
-			}
-			if head, _ := st.Head(); head.Base() {
-				b.Fatal("head generation is not a delta")
-			}
+			st := streamBenchStore(b, size, chain)
 			b.SetBytes(size)
 			b.ReportAllocs()
+			var cs ckptstore.ChainStats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				imgs, _, err := st.MaterializeHead()
+				imgs, stats, err := st.MaterializeHead()
 				if err != nil {
 					b.Fatal(err)
 				}
 				if len(imgs) != 1 {
 					b.Fatal("missing image")
 				}
+				cs = stats[0]
 			}
+			reportChainStats(b, cs)
+		})
+	}
+}
+
+// streamBenchStore builds the BenchmarkChainMaterialize store shape: a
+// base plus `chain` delta generations of a 4 MB app state with 10%
+// trailing churn.
+func streamBenchStore(b *testing.B, size, chain int) *ckptstore.Store {
+	b.Helper()
+	st := ckptstore.MustOpen(1, ckptstore.Options{Delta: true, ChainCap: chain + 1})
+	for gen := 0; gen <= chain; gen++ {
+		img := benchImage(size, gen, 0.1)
+		var data []byte
+		var err error
+		if parent, pgen, ok := st.PlanDelta(0); ok {
+			data, _, err = ckptimg.EncodeDelta(img, parent, pgen, st.EncodeOptions())
+		} else {
+			data, err = ckptimg.EncodeOpts(img, st.EncodeOptions())
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Commit([][]byte{data}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if head, _ := st.Head(); head.Base() {
+		b.Fatal("head generation is not a delta")
+	}
+	return st
+}
+
+// reportChainStats turns one rank's resolution accounting into bench
+// metrics, so batch and streaming materialization compare on bytes
+// inflated and peak resolver memory, not just ns/op.
+func reportChainStats(b *testing.B, cs ckptstore.ChainStats) {
+	b.Helper()
+	b.ReportMetric(float64(cs.ChunksRead), "chunks-read")
+	b.ReportMetric(float64(cs.ChunksSkipped), "chunks-skipped")
+	b.ReportMetric(float64(cs.ChunksRead)*float64(ckptimg.AppChunk)/(1<<20), "inflated-MB")
+	b.ReportMetric(float64(cs.PeakBytes)/(1<<20), "peak-MB")
+}
+
+// BenchmarkStreamMaterialize measures the chunk-pipelined streaming
+// resolver on exactly BenchmarkChainMaterialize's store shape: at
+// chain depth k the batch path inflates the base plus every link's
+// changed chunks and copies the whole state k times, while newest-wins
+// resolution inflates each output chunk exactly once — superseded
+// chunks are skipped, so bytes-decompressed and allocations stay flat
+// as the chain deepens.
+func BenchmarkStreamMaterialize(b *testing.B) {
+	const size = 4 << 20
+	for _, chain := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("deltas=%d", chain), func(b *testing.B) {
+			st := streamBenchStore(b, size, chain)
+			b.SetBytes(size)
+			b.ReportAllocs()
+			var cs ckptstore.ChainStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				imgs, stats, err := st.MaterializeStreamHead()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(imgs) != 1 || imgs[0].AppState == nil {
+					b.Fatal("missing image")
+				}
+				cs = stats[0]
+			}
+			if !cs.Streamed || cs.ChunksSkipped == 0 {
+				b.Fatalf("streaming resolver skipped nothing: %+v", cs)
+			}
+			reportChainStats(b, cs)
 		})
 	}
 }

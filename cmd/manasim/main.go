@@ -82,6 +82,10 @@ run flags:
   -store   checkpoint store backend (mem, fs)
   -ckpt-dir directory of the fs store backend (implies -store fs)
   -delta   write incremental (delta) checkpoint generations
+  -stream-restart  with -restart-impl, restart through the chunk-pipelined
+                 streaming path: each rank's base+delta chain resolves a
+                 newest-wins owner per chunk and only winning chunks are
+                 decompressed (batch materialize is the default)
   -chunk-kb delta chunk size in KiB (default 256; shrink for proxy-size snapshots)
   -workers checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)
   -site    discovery (default) or perlmutter
@@ -130,6 +134,7 @@ func cmdRun(args []string) error {
 	storeName := fs.String("store", "", "checkpoint store backend (mem, fs)")
 	ckptDir := fs.String("ckpt-dir", "", "fs store backend directory")
 	delta := fs.Bool("delta", false, "write incremental checkpoint generations")
+	streamRestart := fs.Bool("stream-restart", false, "restart through the chunk-pipelined streaming path (newest-wins chain resolution; superseded chunks are never decompressed)")
 	chunkKB := fs.Int("chunk-kb", 0, "delta chunk size in KiB (default ckptimg.AppChunk; shrink to match proxy snapshot sizes)")
 	workers := fs.Int("workers", 0, "checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	siteName := fs.String("site", "discovery", "site profile")
@@ -238,7 +243,9 @@ func cmdRun(args []string) error {
 	for _, img := range images {
 		bytes += len(img)
 	}
-	img0, err := ckptimg.Decode(images[0])
+	// Only identity metadata is reported, so peek instead of decoding
+	// (and possibly decompressing) the whole image.
+	img0, err := ckptimg.PeekMeta(images[0])
 	if err != nil {
 		return err
 	}
@@ -264,8 +271,18 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName}
-	rst, err := mana.RestartFromStore(rcfg, store, spec.New(in))
+	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName, StreamRestart: *streamRestart}
+	rs, err := mana.RestartJobFromStore(rcfg, store, spec.New(in))
+	if err != nil {
+		return err
+	}
+	// The restart's own materialization already resolved every chain;
+	// report its chunk accounting instead of resolving a second time.
+	if sc := rs.RestartChains(); *streamRestart && len(sc) > 0 && sc[0].Links > 0 {
+		fmt.Printf("streaming: rank 0 inflated %d chunks, skipped %d superseded (peak %d KB vs %d KB batch)\n",
+			sc[0].ChunksRead, sc[0].ChunksSkipped, sc[0].PeakBytes/1024, chains[0].PeakBytes/1024)
+	}
+	rst, err := rs.Wait()
 	if err != nil {
 		return err
 	}

@@ -66,4 +66,11 @@
 // the store guarantees the failed generation left no blobs or chain
 // state behind, so the coordinator simply stays at the previous
 // generation count.
+//
+// Restart-side parallelism likewise lives in the store: both resolvers
+// (batch Materialize and the chunk-pipelined MaterializeStream, which
+// additionally overlaps each rank's link reads with chunk inflation
+// under newest-wins ownership) fan ranks out across the store's worker
+// pool and return rank-ordered results; the coordinator and runtime
+// never see partially resolved chains.
 package ckpt

@@ -252,115 +252,72 @@ func IsDelta(data []byte) bool {
 		binary.LittleEndian.Uint32(data[12:16])&FlagDelta != 0
 }
 
-// DecodeDelta validates and deserializes a delta image. Uncompressed
-// chunk payloads alias data (see Delta); everything else is copied.
+// decodeDeltaMetaAny decodes a delta-linkage section — binary DMT2 or
+// the gob-coded DMET of earlier builds — and validates its consistency.
+func decodeDeltaMetaAny(tag uint32, payload []byte) (*deltaMeta, error) {
+	var dm *deltaMeta
+	if tag == secDeltaMet2 {
+		var err error
+		if dm, err = decodeDeltaMeta2(payload); err != nil {
+			return nil, err
+		}
+	} else {
+		dm = &deltaMeta{}
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(dm); err != nil {
+			return nil, fmt.Errorf("ckptimg: decoding DMET section: %w", err)
+		}
+	}
+	if dm.ChunkBytes <= 0 || dm.NewLen < 0 || dm.ParentLen < 0 ||
+		dm.Chunks != (dm.NewLen+dm.ChunkBytes-1)/dm.ChunkBytes {
+		return nil, fmt.Errorf("ckptimg: inconsistent DMET section (%w)", ErrCorrupt)
+	}
+	return dm, nil
+}
+
+// DecodeDelta validates and deserializes a delta image, inflating every
+// changed chunk. Uncompressed chunk payloads alias data (see Delta);
+// everything else is copied. It is the chunk-level streaming decoder
+// (OpenDelta) plus an inflate pass — the streaming restart resolver
+// uses OpenDelta directly so superseded chunks are never inflated.
 func DecodeDelta(data []byte) (*Delta, error) {
-	ver, flags, err := parseHeader(data)
+	if ver, flags, err := parseHeader(data); err != nil {
+		return nil, err
+	} else if ver == Version && flags&^knownFlags == 0 && flags&FlagDelta == 0 {
+		return nil, fmt.Errorf("ckptimg: not a delta image (decode with Decode)")
+	}
+	r, err := OpenDelta(data, true)
 	if err != nil {
 		return nil, err
 	}
-	if ver != Version {
-		return nil, fmt.Errorf("ckptimg: unsupported delta image version %d (want %d)", ver, Version)
+	defer r.Close()
+	d := &Delta{
+		Image:     r.Image,
+		ParentGen: r.ParentGen, ParentLen: r.ParentLen,
+		NewLen: r.NewLen, ChunkBytes: r.ChunkBytes,
+		Chunks: make([]DeltaChunk, r.NumChunks()),
 	}
-	if flags&^knownFlags != 0 {
-		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
-	}
-	if flags&FlagDelta == 0 {
-		return nil, fmt.Errorf("ckptimg: not a delta image (decode with Decode)")
-	}
-
-	d := &Delta{Image: &Image{}}
-	img := d.Image
-	var dm *deltaMeta
-	var seenChunks []bool
-	var sawMeta, sawEnd bool
-	c := &sectionCursor{data: data, off: 16}
-	for !sawEnd {
-		tag, payload, err := c.next()
-		if err != nil {
-			return nil, err
-		}
-		if handled, err := decodeCommonSection(img, tag, payload); err != nil {
-			return nil, err
-		} else if handled {
-			sawMeta = sawMeta || tag == secMeta || tag == secMeta2
-			continue
-		}
-		switch tag {
-		case secDeltaMeta, secDeltaMet2:
-			if tag == secDeltaMet2 {
-				var err error
-				if dm, err = decodeDeltaMeta2(payload); err != nil {
+	for i := range d.Chunks {
+		ch := r.Chunk(i)
+		dc := DeltaChunk{CRC: ch.CRC}
+		if ch.Changed {
+			if r.Compressed() {
+				// The chunk's uncompressed size is pinned by DMET, so it
+				// inflates into an exact-size buffer (one pooled gzip
+				// reader serves every chunk; InflateChunk verifies the
+				// content CRC).
+				buf := make([]byte, r.ChunkLen(i))
+				if err := r.InflateChunk(i, buf); err != nil {
 					return nil, err
 				}
+				dc.Data = buf
 			} else {
-				// Gob-coded DMET written by earlier builds.
-				dm = &deltaMeta{}
-				if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(dm); err != nil {
-					return nil, fmt.Errorf("ckptimg: decoding DMET section: %w", err)
-				}
-			}
-			if dm.ChunkBytes <= 0 || dm.NewLen < 0 || dm.ParentLen < 0 ||
-				dm.Chunks != (dm.NewLen+dm.ChunkBytes-1)/dm.ChunkBytes {
-				return nil, fmt.Errorf("ckptimg: inconsistent DMET section (%w)", ErrCorrupt)
-			}
-			d.ParentGen, d.ParentLen = dm.ParentGen, dm.ParentLen
-			d.NewLen, d.ChunkBytes = dm.NewLen, dm.ChunkBytes
-			d.Chunks = make([]DeltaChunk, dm.Chunks)
-			seenChunks = make([]bool, dm.Chunks)
-		case secDeltaChunk:
-			if dm == nil {
-				return nil, fmt.Errorf("ckptimg: DCHK section before DMET (%w)", ErrCorrupt)
-			}
-			if len(payload) < 9 {
-				return nil, fmt.Errorf("ckptimg: short DCHK record (%w)", ErrCorrupt)
-			}
-			i := int(binary.LittleEndian.Uint32(payload[0:4]))
-			if i < 0 || i >= len(d.Chunks) {
-				return nil, fmt.Errorf("ckptimg: DCHK chunk index %d of %d (%w)", i, len(d.Chunks), ErrCorrupt)
-			}
-			if seenChunks[i] {
-				return nil, fmt.Errorf("ckptimg: duplicate DCHK record for chunk %d (%w)", i, ErrCorrupt)
-			}
-			seenChunks[i] = true
-			ch := DeltaChunk{CRC: binary.LittleEndian.Uint32(payload[5:9])}
-			if payload[4] != 0 {
-				data := payload[9:]
-				if flags&FlagGzip != 0 {
-					var err error
-					data, err = gunzip(data)
-					if err != nil {
-						return nil, fmt.Errorf("ckptimg: decompressing delta chunk %d (%w): %w", i, ErrCorrupt, err)
-					}
-				}
-				if crc32.ChecksumIEEE(data) != ch.CRC {
+				if crc32.ChecksumIEEE(ch.Payload) != ch.CRC {
 					return nil, fmt.Errorf("ckptimg: delta chunk %d content checksum mismatch (%w)", i, ErrCorrupt)
 				}
-				ch.Data = data
+				dc.Data = ch.Payload
 			}
-			d.Chunks[i] = ch
-		case secEnd:
-			sawEnd = true
-		default:
-			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (%w)", tag, ErrCorrupt)
 		}
-	}
-	if !sawMeta {
-		return nil, fmt.Errorf("ckptimg: image has no META section (%w)", ErrCorrupt)
-	}
-	if dm == nil {
-		return nil, fmt.Errorf("ckptimg: delta image has no DMET section (%w)", ErrCorrupt)
-	}
-	// A cleanly dropped DCHK section still parses frame-by-frame; the
-	// count check catches it here instead of a misleading parent-CRC
-	// failure (or silent stale bytes) at Apply time.
-	for i, seen := range seenChunks {
-		if !seen {
-			return nil, fmt.Errorf("ckptimg: delta is missing the DCHK record for chunk %d (%w)", i, ErrCorrupt)
-		}
-	}
-	if c.rest() > 0 {
-		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
+		d.Chunks[i] = dc
 	}
 	return d, nil
 }

@@ -1,0 +1,356 @@
+package ckptimg
+
+import (
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// This file is the chunk-level streaming tier of the decoder: the
+// restart-side counterpart of the incremental encoder in delta.go.
+// DecodeDelta inflates every changed chunk of a link; the streaming
+// restart pipeline instead resolves a newest-wins owner per chunk
+// position across the whole base+delta chain first, and only then
+// decompresses the winning chunks — so it needs to see a link's chunk
+// *structure* (positions, CRCs, changed flags, raw payloads) without
+// paying for any inflation. ChunkReader provides that view for delta
+// images; AppReader streams a full image's application state
+// sequentially, so a base's superseded chunks are skipped instead of
+// materialized.
+//
+// Both readers still verify every section frame's CRC-32 while walking
+// the image (the sectionCursor does), so damaged bytes are detected
+// even in chunks whose content is never inflated; only gzip-internal
+// checks are deferred to the chunks that actually win.
+
+// RawChunk is one un-inflated chunk record of a delta image.
+type RawChunk struct {
+	// CRC is the CRC-32 of the chunk's uncompressed content.
+	CRC uint32
+	// Changed reports that the record ships bytes; unchanged chunks
+	// resolve from the parent generation.
+	Changed bool
+	// Payload holds a changed chunk's encoded bytes — gzip-compressed
+	// when the image carries FlagGzip — aliasing the OpenDelta input.
+	Payload []byte
+}
+
+// ChunkReader is the chunk-granular decoder of a delta image: linkage,
+// per-chunk records, and (optionally) the tail sections, with no chunk
+// inflated until InflateChunk asks for it. Chunk payloads alias the
+// input buffer, so the caller must keep it alive and unmodified. Not
+// safe for concurrent use.
+type ChunkReader struct {
+	// Image carries the identity and tail sections (vid store, drained
+	// messages, request results, counters); nil unless OpenDelta was
+	// asked to decode them. The restart resolver decodes one tail per
+	// rank — the newest link's — and skips the rest.
+	Image *Image
+	// ParentGen, ParentLen, NewLen, ChunkBytes mirror the DMET section.
+	ParentGen  int
+	ParentLen  int
+	NewLen     int
+	ChunkBytes int
+	// NumChanged counts the records that ship bytes.
+	NumChanged int
+
+	chunks     []RawChunk
+	compressed bool
+	inf        chunkInflater
+}
+
+// OpenDelta parses a delta image at chunk granularity. Every section
+// frame is checksum-verified, the DMET linkage and all chunk records
+// are collected, but no chunk content is decompressed. decodeTail also
+// decodes the common sections into Image (needed for the link whose
+// identity survives into the materialized image); without it they are
+// frame-checked and skipped.
+func OpenDelta(data []byte, decodeTail bool) (*ChunkReader, error) {
+	ver, flags, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("ckptimg: unsupported delta image version %d (want %d)", ver, Version)
+	}
+	if flags&^knownFlags != 0 {
+		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
+	}
+	if flags&FlagDelta == 0 {
+		return nil, fmt.Errorf("ckptimg: not a delta image (stream it with OpenAppState)")
+	}
+
+	r := &ChunkReader{compressed: flags&FlagGzip != 0}
+	if decodeTail {
+		r.Image = &Image{}
+	}
+	var dm *deltaMeta
+	var seen []bool
+	var sawMeta, sawEnd bool
+	c := &sectionCursor{data: data, off: 16}
+	for !sawEnd {
+		tag, payload, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case tag == secDeltaMeta || tag == secDeltaMet2:
+			if dm, err = decodeDeltaMetaAny(tag, payload); err != nil {
+				return nil, err
+			}
+			r.ParentGen, r.ParentLen = dm.ParentGen, dm.ParentLen
+			r.NewLen, r.ChunkBytes = dm.NewLen, dm.ChunkBytes
+			r.chunks = make([]RawChunk, dm.Chunks)
+			seen = make([]bool, dm.Chunks)
+		case tag == secDeltaChunk:
+			if dm == nil {
+				return nil, fmt.Errorf("ckptimg: DCHK section before DMET (%w)", ErrCorrupt)
+			}
+			if len(payload) < 9 {
+				return nil, fmt.Errorf("ckptimg: short DCHK record (%w)", ErrCorrupt)
+			}
+			i := int(binary.LittleEndian.Uint32(payload[0:4]))
+			if i < 0 || i >= len(r.chunks) {
+				return nil, fmt.Errorf("ckptimg: DCHK chunk index %d of %d (%w)", i, len(r.chunks), ErrCorrupt)
+			}
+			if seen[i] {
+				return nil, fmt.Errorf("ckptimg: duplicate DCHK record for chunk %d (%w)", i, ErrCorrupt)
+			}
+			seen[i] = true
+			ch := RawChunk{CRC: binary.LittleEndian.Uint32(payload[5:9]), Changed: payload[4] != 0}
+			if ch.Changed {
+				ch.Payload = payload[9:]
+				r.NumChanged++
+			}
+			r.chunks[i] = ch
+		case tag == secEnd:
+			sawEnd = true
+		case isCommonTag(tag):
+			sawMeta = sawMeta || tag == secMeta || tag == secMeta2
+			if decodeTail {
+				if _, err := decodeCommonSection(r.Image, tag, payload); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (%w)", tag, ErrCorrupt)
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("ckptimg: image has no META section (%w)", ErrCorrupt)
+	}
+	if dm == nil {
+		return nil, fmt.Errorf("ckptimg: delta image has no DMET section (%w)", ErrCorrupt)
+	}
+	for i, s := range seen {
+		if !s {
+			return nil, fmt.Errorf("ckptimg: delta is missing the DCHK record for chunk %d (%w)", i, ErrCorrupt)
+		}
+	}
+	if c.rest() > 0 {
+		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
+	}
+	return r, nil
+}
+
+// NumChunks reports the chunk count of the image's application state.
+func (r *ChunkReader) NumChunks() int { return len(r.chunks) }
+
+// Chunk returns chunk record i.
+func (r *ChunkReader) Chunk(i int) RawChunk { return r.chunks[i] }
+
+// ChunkLen reports the uncompressed byte length of chunk i.
+func (r *ChunkReader) ChunkLen(i int) int {
+	return min(r.ChunkBytes, r.NewLen-i*r.ChunkBytes)
+}
+
+// Compressed reports whether changed chunk payloads are gzip streams.
+func (r *ChunkReader) Compressed() bool { return r.compressed }
+
+// InflateChunk decodes changed chunk i into dst — which must be exactly
+// ChunkLen(i) bytes — verifying the recorded content CRC. The gzip
+// reader behind compressed chunks is pooled and reused across calls.
+func (r *ChunkReader) InflateChunk(i int, dst []byte) error {
+	ch := r.chunks[i]
+	if !ch.Changed {
+		return fmt.Errorf("ckptimg: chunk %d is unchanged (resolve it from the parent chain)", i)
+	}
+	if r.compressed {
+		if err := r.inf.inflateInto(dst, ch.Payload); err != nil {
+			return fmt.Errorf("ckptimg: decompressing delta chunk %d (%w): %w", i, ErrCorrupt, err)
+		}
+	} else {
+		if len(ch.Payload) != len(dst) {
+			return fmt.Errorf("ckptimg: delta chunk %d is %d bytes, want %d (%w)", i, len(ch.Payload), len(dst), ErrCorrupt)
+		}
+		copy(dst, ch.Payload)
+	}
+	if crc32.ChecksumIEEE(dst) != ch.CRC {
+		return fmt.Errorf("ckptimg: delta chunk %d content checksum mismatch (%w)", i, ErrCorrupt)
+	}
+	return nil
+}
+
+// Close releases the pooled codec state. The reader must not be used
+// afterwards.
+func (r *ChunkReader) Close() { r.inf.release() }
+
+// isCommonTag reports whether tag is one of the sections shared by full
+// and delta images (identity, vid store, drained messages, request
+// results, counters), in either the binary or the gob-legacy coding.
+func isCommonTag(tag uint32) bool {
+	switch tag {
+	case secMeta, secMeta2, secStore, secDrained, secDrained2, secReqs, secReqs2, secCounters, secCounters2:
+		return true
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// sequential app-state streaming over full images
+
+// multiSliceReader reads a sequence of byte slices as one stream and
+// skips regions without copying them.
+type multiSliceReader struct {
+	parts [][]byte
+	i     int
+}
+
+func (m *multiSliceReader) Read(p []byte) (int, error) {
+	for m.i < len(m.parts) && len(m.parts[m.i]) == 0 {
+		m.i++
+	}
+	if m.i >= len(m.parts) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.parts[m.i])
+	m.parts[m.i] = m.parts[m.i][n:]
+	return n, nil
+}
+
+// skip discards n bytes without copying; fewer available is an error.
+func (m *multiSliceReader) skip(n int) error {
+	for n > 0 && m.i < len(m.parts) {
+		part := m.parts[m.i]
+		if len(part) > n {
+			m.parts[m.i] = part[n:]
+			return nil
+		}
+		n -= len(part)
+		m.i++
+	}
+	if n > 0 {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+// AppReader streams the raw application state of a full (non-delta) v3
+// image without materializing it: the chunk-pipelined restart path
+// reads a base's winning chunks in order and skips superseded ones. On
+// an uncompressed image Skip is free (APPS payloads are subslices of
+// the input); on a compressed image the single gzip stream must still
+// be inflated through, but nothing is copied out for skipped regions.
+// The payloads alias the OpenAppState input. Not safe for concurrent
+// use.
+type AppReader struct {
+	ms    multiSliceReader
+	zr    *gzip.Reader // non-nil when the app state is one gzip stream
+	total int
+}
+
+// OpenAppState walks a full v3 image's sections — frame-checking each —
+// and positions a sequential reader at the start of its application
+// state. Delta images are rejected with ErrDeltaImage; legacy v2 images
+// (monolithic gob, nothing to stream) are rejected with a plain error
+// so callers fall back to Decode.
+func OpenAppState(data []byte) (*AppReader, error) {
+	ver, flags, err := parseHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("ckptimg: cannot stream a version %d image (want %d)", ver, Version)
+	}
+	if flags&^knownFlags != 0 {
+		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
+	}
+	if flags&FlagDelta != 0 {
+		return nil, ErrDeltaImage
+	}
+
+	r := &AppReader{total: 0}
+	var sawMeta, sawEnd bool
+	c := &sectionCursor{data: data, off: 16}
+	for !sawEnd {
+		tag, payload, err := c.next()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case tag == secApp:
+			r.ms.parts = append(r.ms.parts, payload)
+			r.total += len(payload)
+		case tag == secEnd:
+			sawEnd = true
+		case isCommonTag(tag):
+			sawMeta = sawMeta || tag == secMeta || tag == secMeta2
+		default:
+			return nil, fmt.Errorf("ckptimg: unknown section tag %#x (%w)", tag, ErrCorrupt)
+		}
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("ckptimg: image has no META section (%w)", ErrCorrupt)
+	}
+	if c.rest() > 0 {
+		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
+	}
+	if flags&FlagGzip != 0 {
+		zr, err := getGzipReader(&r.ms)
+		if err != nil {
+			return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
+		}
+		r.zr = zr
+		r.total = -1
+	}
+	return r, nil
+}
+
+// Compressed reports whether the app state travels as one gzip stream.
+func (r *AppReader) Compressed() bool { return r.zr != nil }
+
+// Total reports the raw application-state length, or -1 on a
+// compressed image (the gzip stream reveals it only at EOF).
+func (r *AppReader) Total() int { return r.total }
+
+// Read returns the next raw application-state bytes.
+func (r *AppReader) Read(p []byte) (int, error) {
+	if r.zr != nil {
+		return r.zr.Read(p)
+	}
+	return r.ms.Read(p)
+}
+
+// Skip discards the next n raw bytes: free on an uncompressed image,
+// one inflate-and-discard pass on a compressed one.
+func (r *AppReader) Skip(n int) error {
+	if r.zr == nil {
+		return r.ms.skip(n)
+	}
+	_, err := io.CopyN(io.Discard, r.zr, int64(n))
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Close returns the pooled gzip reader. The reader must not be used
+// afterwards.
+func (r *AppReader) Close() {
+	if r.zr != nil {
+		putGzipReader(r.zr)
+		r.zr = nil
+	}
+}

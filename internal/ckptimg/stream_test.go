@@ -1,0 +1,181 @@
+package ckptimg
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestOpenDeltaMatchesDecodeDelta pins the chunk-level streaming view
+// against the full decoder: same linkage, same per-chunk structure, and
+// InflateChunk reproduces exactly the bytes DecodeDelta inflates.
+func TestOpenDeltaMatchesDecodeDelta(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		parent := deltaTestImage(0)
+		child := deltaTestImage(1)
+		idx := IndexAppState(parent.AppState, 128)
+		data, _, err := EncodeDelta(child, idx, 3, Options{Compress: compress})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		d, err := DecodeDelta(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenDelta(data, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+
+		if r.ParentGen != d.ParentGen || r.ParentLen != d.ParentLen ||
+			r.NewLen != d.NewLen || r.ChunkBytes != d.ChunkBytes {
+			t.Fatalf("compress=%v: linkage %+v vs delta %+v", compress, r, d)
+		}
+		if r.NumChunks() != len(d.Chunks) {
+			t.Fatalf("compress=%v: %d chunks vs %d", compress, r.NumChunks(), len(d.Chunks))
+		}
+		if r.Compressed() != compress {
+			t.Fatalf("compress=%v: reader reports %v", compress, r.Compressed())
+		}
+		changed := 0
+		for i := 0; i < r.NumChunks(); i++ {
+			ch := r.Chunk(i)
+			dc := d.Chunks[i]
+			if ch.CRC != dc.CRC || ch.Changed != (dc.Data != nil) {
+				t.Fatalf("compress=%v: chunk %d record %+v vs %+v", compress, i, ch, dc)
+			}
+			if !ch.Changed {
+				continue
+			}
+			changed++
+			dst := make([]byte, r.ChunkLen(i))
+			if err := r.InflateChunk(i, dst); err != nil {
+				t.Fatalf("compress=%v: inflate chunk %d: %v", compress, i, err)
+			}
+			if !bytes.Equal(dst, dc.Data) {
+				t.Fatalf("compress=%v: chunk %d content differs", compress, i)
+			}
+		}
+		if changed == 0 || r.NumChanged != changed {
+			t.Fatalf("compress=%v: NumChanged %d, counted %d", compress, r.NumChanged, changed)
+		}
+		// The tail decoded on request matches the full decoder's.
+		if r.Image == nil || r.Image.Step != d.Image.Step || r.Image.Rank != d.Image.Rank {
+			t.Fatalf("compress=%v: tail image %+v vs %+v", compress, r.Image, d.Image)
+		}
+		if len(r.Image.SentTo) != 1 || r.Image.SentTo[0] != 1 {
+			t.Fatalf("compress=%v: counters not decoded: %+v", compress, r.Image.SentTo)
+		}
+
+		// The light parse skips the tail entirely.
+		light, err := OpenDelta(data, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer light.Close()
+		if light.Image != nil {
+			t.Fatalf("compress=%v: light parse decoded a tail", compress)
+		}
+		if light.NumChunks() != r.NumChunks() {
+			t.Fatalf("compress=%v: light parse chunk count differs", compress)
+		}
+	}
+}
+
+// TestOpenDeltaRejectsCorruption flips every byte in turn: the
+// frame-CRC walk must catch damage anywhere, even in chunks the caller
+// would never inflate.
+func TestOpenDeltaRejectsCorruption(t *testing.T) {
+	parent := deltaTestImage(0)
+	child := deltaTestImage(1)
+	idx := IndexAppState(parent.AppState, 128)
+	data, _, err := EncodeDelta(child, idx, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 16; pos < len(data); pos += 17 {
+		bad := append([]byte(nil), data...)
+		bad[pos] ^= 0x40
+		if _, err := OpenDelta(bad, false); err == nil {
+			t.Fatalf("flip at %d accepted", pos)
+		}
+	}
+	// A full image is rejected up front.
+	full, err := Encode(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDelta(full, false); err == nil {
+		t.Fatal("full image opened as delta")
+	}
+}
+
+// TestAppReaderStreamsAppState pins the sequential base reader: Read
+// and Skip over compressed and raw images reproduce the app state that
+// Decode materializes, without the reader ever holding it whole.
+func TestAppReaderStreamsAppState(t *testing.T) {
+	img := deltaTestImage(2)
+	for _, compress := range []bool{false, true} {
+		data, err := EncodeOpts(img, Options{Compress: compress, ChunkSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Straight read-through equals the decoded app state.
+		r, err := OpenAppState(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Compressed() != compress {
+			t.Fatalf("compress=%v: reader reports %v", compress, r.Compressed())
+		}
+		if want := len(img.AppState); !compress && r.Total() != want {
+			t.Fatalf("total %d, want %d", r.Total(), want)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		if !bytes.Equal(got, img.AppState) {
+			t.Fatalf("compress=%v: streamed app state differs", compress)
+		}
+
+		// Skip + read lands on the right region.
+		r, err = OpenAppState(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Skip(300); err != nil {
+			t.Fatal(err)
+		}
+		part := make([]byte, 128)
+		if _, err := io.ReadFull(r, part); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+		if !bytes.Equal(part, img.AppState[300:428]) {
+			t.Fatalf("compress=%v: skip+read landed wrong", compress)
+		}
+	}
+
+	// Delta and legacy images are refused (the store falls back to the
+	// batch resolver on the latter).
+	idx := IndexAppState(img.AppState, 128)
+	delta, _, err := EncodeDelta(deltaTestImage(3), idx, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAppState(delta); !errors.Is(err, ErrDeltaImage) {
+		t.Fatalf("delta image: %v", err)
+	}
+	v2, err := EncodeLegacy(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenAppState(v2); err == nil {
+		t.Fatal("v2 image streamed")
+	}
+}

@@ -156,3 +156,49 @@ func getGzipReader(r io.Reader) (*gzip.Reader, error) {
 func putGzipReader(zr *gzip.Reader) {
 	gzipReaderPool.Put(zr)
 }
+
+// chunkInflater decompresses the many small per-chunk gzip streams of a
+// delta image through one reader: the bytes.Reader and the pooled
+// gzip.Reader are checked out once and reset per chunk, instead of a
+// pool round-trip (and a fresh bytes.Reader) per chunk. Zero value is
+// ready; call release when done with the image. Not safe for concurrent
+// use — each decode owns its own inflater.
+type chunkInflater struct {
+	br bytes.Reader
+	zr *gzip.Reader
+}
+
+// inflateInto decompresses one chunk's gzip stream into dst, which must
+// be exactly the chunk's uncompressed length; a stream that is shorter
+// or longer is an error.
+func (ci *chunkInflater) inflateInto(dst, data []byte) error {
+	ci.br.Reset(data)
+	if ci.zr == nil {
+		zr, err := getGzipReader(&ci.br)
+		if err != nil {
+			return err
+		}
+		ci.zr = zr
+	} else if err := ci.zr.Reset(&ci.br); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(ci.zr, dst); err != nil {
+		return err
+	}
+	var tail [1]byte
+	if n, err := ci.zr.Read(tail[:]); n != 0 || err != io.EOF {
+		if err != nil && err != io.EOF {
+			return err
+		}
+		return fmt.Errorf("chunk stream longer than its declared length")
+	}
+	return nil
+}
+
+// release returns the pooled reader; the inflater is reusable after.
+func (ci *chunkInflater) release() {
+	if ci.zr != nil {
+		putGzipReader(ci.zr)
+		ci.zr = nil
+	}
+}

@@ -21,11 +21,27 @@
 // forces the next generation to be a new base, bounding restart's chain
 // resolution (and the blast radius of a damaged delta).
 //
-// Restart never sees deltas: Materialize resolves each rank's chain —
-// walk back to the nearest base, apply the deltas forward, verify every
-// chunk CRC — and returns ordinary full images that ckptimg.Decode and
-// the existing restart path consume unchanged. A base generation's
-// images are returned bit-for-bit as stored.
+// Restart never sees deltas. Two resolvers materialize a generation:
+//
+//   - Materialize (batch, the compatibility path) resolves each rank's
+//     chain — walk back to the nearest base, decode every link whole,
+//     apply the deltas forward, verify every chunk CRC — and returns
+//     ordinary full images that ckptimg.Decode and the existing restart
+//     path consume unchanged. A base generation's images are returned
+//     bit-for-bit as stored.
+//   - MaterializeStream (the chunk-pipelined path) walks the chain
+//     newest-to-oldest at chunk granularity, resolves a newest-wins
+//     owner per chunk position, and decompresses only the winning chunk
+//     from its owning link. Superseded payloads are never inflated
+//     (their section frames are still CRC-checked); peak per-rank
+//     memory is O(image + chunk) instead of batch's O(image x links).
+//     It returns decoded images directly — no re-encode round trip.
+//     Ranks whose chain it cannot walk (a legacy v2 base) fall back to
+//     the batch resolver; both paths produce byte-identical application
+//     state.
+//
+// A damaged link fails either resolver with a *ChainLinkError naming
+// the broken generation, and no partially-applied state is returned.
 //
 // Ranks that deliver bytes the store cannot parse as images are stored
 // verbatim as opaque full payloads (their index is dropped and the next
@@ -74,10 +90,31 @@
 // blobs it already wrote and leaves the chain and manifest untouched —
 // the backend never holds a partial generation.
 //
-// Materialize does not hold the chain mutex while resolving: committed
-// generations are immutable (blobs are never rewritten), so readers
-// proceed concurrently with an in-flight Commit of the next generation.
-// Backends must be safe for concurrent use (both built-ins are).
+// Materialize and MaterializeStream do not hold the chain mutex while
+// resolving: committed generations are immutable (blobs are never
+// rewritten), so readers proceed concurrently with an in-flight Commit
+// of the next generation. Backends must be safe for concurrent use
+// (both built-ins are).
+//
+// The streaming pipeline adds one layer of overlap inside each rank
+// worker, with these ownership and backpressure rules:
+//
+//   - Link lookahead: while link g parses, the blob of its parent g-1
+//     is fetched on one background goroutine (the parent of a delta is
+//     always g-1, so the read never speculates). Each in-flight rank
+//     owns at most one lookahead read, so the extra goroutine count is
+//     bounded by Options.Workers — the rank pool is the backpressure;
+//     the lookahead channel is buffered so an abandoned fetch never
+//     leaks.
+//   - Blob ownership: a link's chunk payloads alias its backend blob,
+//     which the resolving rank worker owns until resolution completes;
+//     blobs are never shared across ranks. Pooled codec state (the
+//     per-rank gzip inflater) is owned by one ChunkReader and returned
+//     on Close.
+//   - Output ownership: each rank writes only its own rank-indexed
+//     result slot; winning chunks inflate directly into the output
+//     state buffer, with one chunk-sized scratch per rank for
+//     length-mismatched tails.
 //
 // Compression is configured per store: Options.Compress enables gzip,
 // Options.CompressTier picks the flate effort — ckptimg.TierFast

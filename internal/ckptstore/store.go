@@ -75,21 +75,70 @@ type Generation struct {
 // Base reports whether the generation is a full base.
 func (g Generation) Base() bool { return g.DeltaRanks == 0 }
 
-// ChainStats describes what one rank's Materialize actually read from
-// the backend: the encoded size of the nearest base image plus the
-// encoded sizes of the delta links applied on top of it. The restart
-// cost model charges base + each delta read individually, instead of
-// the materialized full image that never existed on storage.
+// ChainStats describes what one rank's chain resolution actually read
+// from the backend — the quantities the restart cost model charges.
+//
+// On the batch path (Materialize) BaseBytes/DeltaBytes are the whole
+// encoded sizes of the base and every delta link: batch decodes each
+// link in full. On the streaming path (MaterializeStream, Streamed
+// true) they count only what newest-wins resolution consumed — the
+// base bytes actually read plus the compressed bytes of winning delta
+// chunks; superseded chunk payloads appear in ChunksSkipped instead.
 type ChainStats struct {
 	// BaseBytes is the encoded size of the rank's nearest base image
-	// (or of the rank's full image when no chain was involved).
+	// (or of the rank's full image when no chain was involved). On the
+	// streaming path over an uncompressed base, only the bytes of the
+	// base-owned chunks are counted — superseded base regions are never
+	// read; a compressed base charges its whole stream (gzip has no
+	// random access).
 	BaseBytes int64
-	// DeltaBytes is the total encoded size of the delta links read.
+	// DeltaBytes is the encoded size of the delta links read: whole
+	// links on the batch path, winning chunk payloads only on the
+	// streaming path.
 	DeltaBytes int64
 	// Links is the number of delta links resolved; 0 means the rank's
 	// image at that generation was already full.
 	Links int
+	// ChunksRead counts the content chunks the resolution inflated or
+	// copied (winning chunks, plus every base chunk when the base is
+	// compressed and must be inflated through).
+	ChunksRead int
+	// ChunksSkipped counts chunk payloads present in the chain that
+	// newest-wins resolution proved superseded and never inflated.
+	// Always 0 on the batch path, which decodes every link in full.
+	ChunksSkipped int
+	// PeakBytes estimates the resolver's peak resident bytes for the
+	// rank: encoded blobs plus every state buffer alive at once. Batch
+	// holds O(image x links) (each delta link's inflated chunks and one
+	// state buffer per Apply); streaming holds O(image + chunk).
+	PeakBytes int64
+	// Streamed marks stats produced by the streaming resolver. A rank
+	// that fell back to batch resolution (non-v3 base) reports it
+	// false.
+	Streamed bool
 }
+
+// ChainLinkError reports that one link of a rank's base+delta chain
+// failed to resolve — a damaged blob (wraps ckptimg.ErrCorrupt), a
+// broken parent linkage, or a chunk that contradicts its recorded CRC.
+// Gen names the generation of the failing link, which on a chain walk
+// may be older than the generation being materialized. Both Materialize
+// and MaterializeStream fail the whole call with it and return no
+// partially-applied state.
+type ChainLinkError struct {
+	// Gen is the generation whose link failed.
+	Gen int
+	// Rank is the rank whose chain was being resolved.
+	Rank int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *ChainLinkError) Error() string {
+	return fmt.Sprintf("ckptstore: generation %d rank %d: %v", e.Gen, e.Rank, e.Err)
+}
+
+func (e *ChainLinkError) Unwrap() error { return e.Err }
 
 // rankIndex is one rank's chunk index at the head generation; Valid is
 // false when the rank's last image could not be indexed (opaque bytes).
@@ -417,7 +466,7 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 		return nil, ChainStats{}, err
 	}
 	if !ckptimg.IsDelta(data) {
-		return data, ChainStats{BaseBytes: int64(len(data))}, nil
+		return data, ChainStats{BaseBytes: int64(len(data)), PeakBytes: int64(len(data))}, nil
 	}
 	// Walk back to the rank's nearest base, stacking deltas.
 	var st ChainStats
@@ -426,13 +475,19 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 	for ckptimg.IsDelta(data) {
 		d, err := ckptimg.DecodeDelta(data)
 		if err != nil {
-			return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d rank %d: %w", cur, rank, err)
+			return nil, ChainStats{}, &ChainLinkError{Gen: cur, Rank: rank, Err: err}
 		}
 		if d.ParentGen != cur-1 {
-			return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d rank %d delta parents %d, want %d", cur, rank, d.ParentGen, cur-1)
+			return nil, ChainStats{}, &ChainLinkError{Gen: cur, Rank: rank,
+				Err: fmt.Errorf("delta parents generation %d, want %d", d.ParentGen, cur-1)}
 		}
 		st.DeltaBytes += int64(len(data))
 		st.Links++
+		for _, ch := range d.Chunks {
+			if ch.Data != nil {
+				st.ChunksRead++
+			}
+		}
 		deltas = append(deltas, d)
 		cur--
 		if cur < 0 {
@@ -446,7 +501,7 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 	st.BaseBytes = int64(len(data))
 	base, err := ckptimg.Decode(data)
 	if err != nil {
-		return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d rank %d base: %w", cur, rank, err)
+		return nil, ChainStats{}, &ChainLinkError{Gen: cur, Rank: rank, Err: fmt.Errorf("base: %w", err)}
 	}
 	// Apply the deltas forward, oldest first.
 	app := base.AppState
@@ -454,10 +509,17 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 	for i := len(deltas) - 1; i >= 0; i-- {
 		img, err = deltas[i].Apply(app)
 		if err != nil {
-			return nil, ChainStats{}, fmt.Errorf("ckptstore: materializing generation %d rank %d: %w", seq-i, rank, err)
+			return nil, ChainStats{}, &ChainLinkError{Gen: seq - i, Rank: rank, Err: err}
 		}
 		app = img.AppState
 	}
+	if cs := deltas[0].ChunkBytes; cs > 0 {
+		st.ChunksRead += (len(base.AppState) + cs - 1) / cs
+	}
+	// Resident-set estimate: every blob, the base state, and one state
+	// buffer per Apply — the O(image x links) the streaming path
+	// eliminates (delta chunk data mostly aliases the blobs).
+	st.PeakBytes = st.BaseBytes + st.DeltaBytes + int64(st.Links+1)*int64(len(app))
 	out, err := ckptimg.EncodeOpts(img, s.EncodeOptions())
 	if err != nil {
 		return nil, ChainStats{}, err

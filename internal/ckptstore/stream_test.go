@@ -1,0 +1,243 @@
+package ckptstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"manasim/internal/ckptimg"
+)
+
+// matchBatch materializes seq through both resolvers and checks that
+// the streaming images carry byte-identical application state (and the
+// same identity) as the batch path's decoded output. It returns the
+// streaming stats for further assertions.
+func matchBatch(t *testing.T, s *Store, seq int) []ChainStats {
+	t.Helper()
+	batch, _, err := s.Materialize(seq)
+	if err != nil {
+		t.Fatalf("batch materialize gen %d: %v", seq, err)
+	}
+	stream, stats, err := s.MaterializeStream(seq)
+	if err != nil {
+		t.Fatalf("stream materialize gen %d: %v", seq, err)
+	}
+	for r := range batch {
+		bi, err := ckptimg.Decode(batch[r])
+		if err != nil {
+			t.Fatalf("gen %d rank %d: decoding batch image: %v", seq, r, err)
+		}
+		si := stream[r]
+		if !bytes.Equal(bi.AppState, si.AppState) {
+			t.Fatalf("gen %d rank %d: app state differs between batch and stream", seq, r)
+		}
+		if bi.Step != si.Step || bi.Rank != si.Rank || bi.NRanks != si.NRanks {
+			t.Fatalf("gen %d rank %d: identity differs: batch %d/%d@%d stream %d/%d@%d",
+				seq, r, bi.Rank, bi.NRanks, bi.Step, si.Rank, si.NRanks, si.Step)
+		}
+	}
+	return stats
+}
+
+// TestStreamMatchesBatchEveryGeneration is the equivalence property at
+// store level: for chains of every depth, compressed or not, streaming
+// materialization produces byte-identical application state to batch.
+func TestStreamMatchesBatchEveryGeneration(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		s := MustOpen(2, Options{Delta: true, ChunkBytes: 128, ChainCap: 8, Compress: compress, Workers: 1})
+		for gen := 0; gen < 5; gen++ {
+			commitGen(t, s, 2, gen, func(r int) []byte { return appState(1000+64*r, gen) })
+		}
+		for gen := 0; gen < 5; gen++ {
+			stats := matchBatch(t, s, gen)
+			for r, st := range stats {
+				if !st.Streamed {
+					t.Fatalf("compress=%v gen %d rank %d fell back to batch", compress, gen, r)
+				}
+				if st.Links != gen {
+					t.Fatalf("compress=%v gen %d rank %d resolved %d links", compress, gen, r, st.Links)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamSkipsSupersededChunks pins the newest-wins win: on a chain
+// whose generations mutate the same region, every older link's changed
+// chunks are superseded and never inflated, and the streaming resolver
+// reads strictly fewer delta bytes than batch with a strictly smaller
+// resident-set estimate.
+func TestStreamSkipsSupersededChunks(t *testing.T) {
+	const n, sz, gens = 1, 4096, 5
+	s := MustOpen(n, Options{Delta: true, ChunkBytes: 256, ChainCap: 8})
+	for gen := 0; gen < gens; gen++ {
+		commitGen(t, s, n, gen, func(int) []byte { return appState(sz, gen) })
+	}
+	_, bstats, err := s.Materialize(gens - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sstats := matchBatch(t, s, gens-1)
+	b, st := bstats[0], sstats[0]
+	if st.ChunksSkipped == 0 {
+		t.Fatalf("no superseded chunks skipped: %+v", st)
+	}
+	// Every output position is read exactly once (uncompressed base):
+	// winning chunks plus base-owned chunks must cover the state.
+	if want := (sz + 255) / 256; st.ChunksRead != want {
+		t.Fatalf("stream read %d chunks, want %d", st.ChunksRead, want)
+	}
+	if st.ChunksRead+st.ChunksSkipped != b.ChunksRead {
+		t.Fatalf("stream read+skipped %d+%d, batch read %d", st.ChunksRead, st.ChunksSkipped, b.ChunksRead)
+	}
+	if st.DeltaBytes >= b.DeltaBytes {
+		t.Fatalf("stream delta bytes %d not below batch %d", st.DeltaBytes, b.DeltaBytes)
+	}
+	if st.PeakBytes >= b.PeakBytes {
+		t.Fatalf("stream peak %d not below batch %d", st.PeakBytes, b.PeakBytes)
+	}
+}
+
+// TestStreamLengthChangingChain covers chains whose application state
+// grows and shrinks between generations: ownership still resolves per
+// position, with prefix-CRC verification where chunk lengths differ.
+func TestStreamLengthChangingChain(t *testing.T) {
+	s := MustOpen(1, Options{Delta: true, ChunkBytes: 128, ChainCap: 8})
+	for gen, sz := range []int{1000, 700, 1300, 1295, 40} {
+		commitGen(t, s, 1, gen, func(int) []byte { return appState(sz, gen) })
+	}
+	for gen := 0; gen < 5; gen++ {
+		matchBatch(t, s, gen)
+	}
+}
+
+// TestStreamFullImageHead streams a head generation that is itself a
+// base: no chain, a plain decode.
+func TestStreamFullImageHead(t *testing.T) {
+	s := MustOpen(2, Options{ChunkBytes: 128})
+	commitGen(t, s, 2, 0, func(r int) []byte { return appState(500, r) })
+	stats := matchBatch(t, s, 0)
+	if stats[0].Links != 0 || !stats[0].Streamed || stats[0].ChunksRead == 0 {
+		t.Fatalf("full-head stats %+v", stats[0])
+	}
+}
+
+// TestStreamFallsBackOnLegacyBase commits a v2 monolithic-gob base
+// under a delta chain: the streaming walk cannot chunk a v2 image, so
+// the rank resolves through the batch path — correctly, flagged by
+// Streamed=false.
+func TestStreamFallsBackOnLegacyBase(t *testing.T) {
+	s := MustOpen(1, Options{Delta: true, ChunkBytes: 128, ChainCap: 8})
+	v2, err := ckptimg.EncodeLegacy(testImage(0, 1, 0, appState(1000, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit([][]byte{v2}); err != nil {
+		t.Fatal(err)
+	}
+	commitGen(t, s, 1, 1, func(int) []byte { return appState(1000, 1) })
+	head, _ := s.Head()
+	if head.Base() {
+		t.Fatal("second generation did not delta against the v2 base")
+	}
+	stats := matchBatch(t, s, 1)
+	if stats[0].Streamed {
+		t.Fatalf("v2 base did not fall back: %+v", stats[0])
+	}
+}
+
+// TestCorruptMiddleLinkFailsTyped is the corrupt-chain acceptance
+// property: a damaged middle delta link fails both batch and streaming
+// materialization with a ChainLinkError naming the damaged generation
+// (wrapping ckptimg.ErrCorrupt), and neither returns partial state.
+func TestCorruptMiddleLinkFailsTyped(t *testing.T) {
+	const badGen = 2
+	for _, mode := range []string{"flip", "truncate"} {
+		s := MustOpen(1, Options{Delta: true, ChunkBytes: 128, ChainCap: 8})
+		for gen := 0; gen < 4; gen++ {
+			commitGen(t, s, 1, gen, func(int) []byte { return appState(1000, gen) })
+		}
+		blob, err := s.b.Get(key(badGen, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch mode {
+		case "flip":
+			blob[len(blob)/2] ^= 0x20
+		case "truncate":
+			blob = blob[:len(blob)-10]
+		}
+		if err := s.b.Put(key(badGen, 0), blob); err != nil {
+			t.Fatal(err)
+		}
+
+		bImgs, bStats, bErr := s.Materialize(3)
+		sImgs, sStats, sErr := s.MaterializeStream(3)
+		for _, tc := range []struct {
+			path string
+			err  error
+		}{{"batch", bErr}, {"stream", sErr}} {
+			var cle *ChainLinkError
+			if !errors.As(tc.err, &cle) {
+				t.Fatalf("%s/%s: want *ChainLinkError, got %T: %v", mode, tc.path, tc.err, tc.err)
+			}
+			if cle.Gen != badGen || cle.Rank != 0 {
+				t.Fatalf("%s/%s: error names generation %d rank %d, want %d/0", mode, tc.path, cle.Gen, cle.Rank, badGen)
+			}
+			if !errors.Is(tc.err, ckptimg.ErrCorrupt) {
+				t.Fatalf("%s/%s: error does not wrap ErrCorrupt: %v", mode, tc.path, tc.err)
+			}
+		}
+		// No partially-applied state escapes.
+		if bImgs != nil || bStats != nil || sImgs != nil || sStats != nil {
+			t.Fatalf("%s: corrupt chain returned partial results", mode)
+		}
+		// Undamaged generations still materialize on both paths.
+		if _, _, err := s.Materialize(1); err != nil {
+			t.Fatalf("%s: batch gen 1 after corruption: %v", mode, err)
+		}
+		if _, _, err := s.MaterializeStream(1); err != nil {
+			t.Fatalf("%s: stream gen 1 after corruption: %v", mode, err)
+		}
+	}
+}
+
+// TestStreamRejectsOversizedCompressedBase swaps a compressed base for
+// one from a longer lineage whose prefix matches the chain's CRCs: a
+// gzip base reveals its length only at EOF, so the streaming resolver
+// must drain to the chain's expected length and refuse the excess,
+// exactly as batch Apply refuses the wrong-sized parent.
+func TestStreamRejectsOversizedCompressedBase(t *testing.T) {
+	s := MustOpen(1, Options{Delta: true, ChunkBytes: 128, ChainCap: 8, Compress: true})
+	commitGen(t, s, 1, 0, func(int) []byte { return appState(1000, 0) })
+	commitGen(t, s, 1, 1, func(int) []byte { return appState(1000, 1) })
+	long := append(appState(1000, 0), bytes.Repeat([]byte{7}, 512)...)
+	forged, err := ckptimg.EncodeOpts(testImage(0, 1, 0, long), s.EncodeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.b.Put(key(0, 0), forged); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Materialize(1); err == nil {
+		t.Fatal("batch accepted an oversized base")
+	}
+	_, _, err = s.MaterializeStream(1)
+	var cle *ChainLinkError
+	if !errors.As(err, &cle) || cle.Gen != 0 {
+		t.Fatalf("streaming accepted an oversized compressed base: %v", err)
+	}
+}
+
+// TestStreamParallelWorkers runs the streaming resolver across pool
+// widths — the race-detector workout for the lookahead pipeline.
+func TestStreamParallelWorkers(t *testing.T) {
+	const n = 8
+	for _, workers := range []int{1, 3, 8} {
+		s := MustOpen(n, Options{Delta: true, ChunkBytes: 128, ChainCap: 8, Workers: workers})
+		for gen := 0; gen < 4; gen++ {
+			commitGen(t, s, n, gen, func(r int) []byte { return appState(900+32*r, gen) })
+		}
+		matchBatch(t, s, 3)
+	}
+}

@@ -106,6 +106,15 @@ type Config struct {
 	// DeltaImages enables incremental checkpoint images when Store is
 	// nil (ckptstore.Options.Delta on the implicit store).
 	DeltaImages bool
+	// StreamRestart selects the chunk-pipelined restart path:
+	// RestartFromStore resolves each rank's base+delta chain with
+	// newest-wins chunk ownership (ckptstore.MaterializeStream), so
+	// superseded chunks are never decompressed, peak restart memory
+	// drops to O(image + chunk), and the filesystem model charges the
+	// compressed bytes of winning chunks as one pipelined read. Batch
+	// materialization remains the default; both produce byte-identical
+	// application state.
+	StreamRestart bool
 }
 
 // withDefaults fills unset fields.

@@ -55,6 +55,7 @@ type Session struct {
 	runtimes  []*Runtime
 	checksums []uint64
 	stopped   []bool
+	chains    []ckptstore.ChainStats
 }
 
 // StartJob launches an n-rank application under MANA. Checkpoints are
@@ -100,10 +101,6 @@ func RestartJob(cfg Config, images [][]byte, factory app.Factory) (*Session, err
 // of a store materialization, which switch the filesystem model to the
 // delta-aware restart cost (base + each delta link read individually).
 func restartJob(cfg Config, images [][]byte, chains []ckptstore.ChainStats, factory app.Factory) (*Session, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
-	}
 	imgs := make([]*ckptimg.Image, len(images))
 	for i, data := range images {
 		img, err := ckptimg.Decode(data)
@@ -111,6 +108,18 @@ func restartJob(cfg Config, images [][]byte, chains []ckptstore.ChainStats, fact
 			return nil, fmt.Errorf("mana: restart: %w", err)
 		}
 		imgs[i] = img
+	}
+	return restartJobImages(cfg, imgs, chains, factory)
+}
+
+// restartJobImages is the decoded-image core of restartJob. The
+// streaming restart path hands it images straight from
+// Store.MaterializeStream, skipping the encode-then-decode round trip
+// the batch path pays per rank.
+func restartJobImages(cfg Config, imgs []*ckptimg.Image, chains []ckptstore.ChainStats, factory app.Factory) (*Session, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
 	}
 	if err := ckptimg.ValidateSet(imgs); err != nil {
 		return nil, fmt.Errorf("mana: restart: %w", err)
@@ -132,6 +141,7 @@ func restartJob(cfg Config, images [][]byte, chains []ckptstore.ChainStats, fact
 		runtimes:  make([]*Runtime, n),
 		checksums: make([]uint64, n),
 		stopped:   make([]bool, n),
+		chains:    chains,
 	}
 	s.job = cluster.New(n, cfg.Factory, cfg.Host.Net)
 	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
@@ -198,6 +208,14 @@ func (s *Session) runRank(rt *Runtime, inst app.Instance, rank, startStep int, f
 // Store exposes the checkpoint store the session delivers into.
 func (s *Session) Store() *ckptstore.Store { return s.Co.Store() }
 
+// RestartChains reports the per-rank chain-resolution statistics of the
+// materialization this session restarted from (nil for fresh jobs and
+// restarts from raw images), so callers can inspect what the restart
+// actually read without resolving the chains a second time.
+func (s *Session) RestartChains() []ckptstore.ChainStats {
+	return append([]ckptstore.ChainStats(nil), s.chains...)
+}
+
 // Wait blocks until the job completes and returns its statistics.
 func (s *Session) Wait() (Stats, error) {
 	res, err := s.job.WaitResult()
@@ -263,19 +281,32 @@ func Restart(cfg Config, images [][]byte, factory app.Factory) (Stats, error) {
 // RestartJobFromStore resumes a job from the store's most recent
 // generation, materializing base+delta chains into full images. The
 // session keeps delivering into the same store, so checkpoints taken
-// after the restart extend the generation chain. Restart read cost is
-// charged per chain link: the stored base plus each delta image read
-// individually (the delta-aware cost model), not the materialized full
-// image that never existed on storage.
+// after the restart extend the generation chain.
+//
+// With Config.StreamRestart unset, chains resolve through the batch
+// path and restart read cost is charged per chain link: the stored base
+// plus each delta image read individually (the delta-aware cost model),
+// not the materialized full image that never existed on storage. With
+// it set, chains resolve through the chunk-pipelined streaming path:
+// only newest-wins winning chunks are decompressed, and the model
+// charges the consumed base bytes plus the winning chunks' compressed
+// bytes as one pipelined read.
 func RestartJobFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (*Session, error) {
 	if st == nil {
 		return nil, fmt.Errorf("mana: restart from store: no store")
+	}
+	cfg.Store = st
+	if cfg.StreamRestart {
+		imgs, chains, err := st.MaterializeStreamHead()
+		if err != nil {
+			return nil, fmt.Errorf("mana: restart: %w", err)
+		}
+		return restartJobImages(cfg, imgs, chains, factory)
 	}
 	images, chains, err := st.MaterializeHead()
 	if err != nil {
 		return nil, fmt.Errorf("mana: restart: %w", err)
 	}
-	cfg.Store = st
 	return restartJob(cfg, images, chains, factory)
 }
 

@@ -81,9 +81,19 @@ func newRuntimeFromImage(cfg Config, lower mpi.Proc, clock *simtime.Clock, co *C
 	// image otherwise.
 	if chain != nil && chain.Links > 0 {
 		cost := cfg.FS.ReadCost(chain.BaseBytes + img.ModeledBytes)
-		per := chain.DeltaBytes / int64(chain.Links)
-		for i := 0; i < chain.Links; i++ {
-			cost += cfg.FS.ReadCost(per)
+		if chain.Streamed {
+			// Streaming restart reads at chunk granularity and overlaps
+			// the links' reads in one pipeline, so the winning chunks —
+			// the only delta bytes in chain.DeltaBytes — are charged as
+			// a single pipelined read instead of one startup per link.
+			cost += cfg.FS.ReadCost(chain.DeltaBytes)
+		} else {
+			// Batch resolution reads every link whole, each paying the
+			// per-read startup.
+			per := chain.DeltaBytes / int64(chain.Links)
+			for i := 0; i < chain.Links; i++ {
+				cost += cfg.FS.ReadCost(per)
+			}
 		}
 		rt.clock.Advance(cost)
 	} else {

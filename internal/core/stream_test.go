@@ -1,0 +1,188 @@
+package mana
+
+import (
+	"bytes"
+	"hash/fnv"
+	"testing"
+
+	"manasim/internal/app"
+	"manasim/internal/ckptimg"
+	"manasim/internal/ckptstore"
+)
+
+// bulkApp is a compute-only application with a fixed-size state buffer
+// whose trailing region churns every step — the static-bulk shape (and
+// stable snapshot length) that lets delta chains stay chunk-aligned, so
+// the streaming resolver's newest-wins skipping is actually exercised
+// (ringApp's gob snapshot wobbles in size and may legitimately fall
+// back).
+type bulkApp struct {
+	steps int
+	buf   []byte
+}
+
+func newBulkApp(steps int) app.Factory {
+	return func() app.Instance { return &bulkApp{steps: steps} }
+}
+
+func (b *bulkApp) Setup(env *app.Env) error {
+	b.buf = make([]byte, 8192)
+	for i := range b.buf {
+		b.buf[i] = byte(i * (env.Rank + 3))
+	}
+	return nil
+}
+func (b *bulkApp) Steps() int { return b.steps }
+func (b *bulkApp) Step(env *app.Env, step int) error {
+	env.Compute(1000)
+	// Setup does not run on a restarted instance, so the mutation must
+	// derive from env, not state captured there.
+	for i := 6144; i < len(b.buf); i++ {
+		b.buf[i] = byte(i ^ (step+1)*131 ^ env.Rank*17)
+	}
+	return nil
+}
+func (b *bulkApp) Finalize(env *app.Env) error { return nil }
+func (b *bulkApp) Checksum() uint64 {
+	h := fnv.New64a()
+	h.Write(b.buf)
+	return h.Sum64()
+}
+func (b *bulkApp) Snapshot() ([]byte, error) { return append([]byte(nil), b.buf...), nil }
+func (b *bulkApp) Restore(data []byte) error {
+	b.buf = append([]byte(nil), data...)
+	return nil
+}
+func (b *bulkApp) FootprintBytes() int64 { return 1 << 20 }
+
+// buildChain drives run -> checkpoint -> restart segments until every
+// boundary in ckpts has committed a generation into st.
+func buildChain(t *testing.T, cfg Config, st *ckptstore.Store, factory app.Factory, ranks int, ckpts []int) {
+	t.Helper()
+	cfg.Store = st
+	cfg.ExitAtCheckpoint = true
+	if _, _, err := Run(cfg, ranks, factory, ckpts[0]); err != nil {
+		t.Fatalf("generation 0: %v", err)
+	}
+	for _, at := range ckpts[1:] {
+		s, err := RestartJobFromStore(cfg, st, factory)
+		if err != nil {
+			t.Fatalf("restart for checkpoint@%d: %v", at, err)
+		}
+		s.Co.RequestCheckpointAtStep(at)
+		if _, err := s.Wait(); err != nil {
+			t.Fatalf("checkpoint@%d: %v", at, err)
+		}
+	}
+}
+
+// TestStreamRestartAllImpls is the acceptance property of the streaming
+// restart pipeline: on every simulated MPI implementation, streaming
+// and batch materialization of the same generation carry byte-identical
+// application state, and a job restarted through the streaming path
+// finishes with the same checksums as an uninterrupted run — in no more
+// restart virtual time than the batch path.
+func TestStreamRestartAllImpls(t *testing.T) {
+	const ranks, steps = 4, 10
+	apps := []struct {
+		name    string
+		factory func(int) app.Factory
+	}{
+		{"ring", newRingApp},
+		{"bulk", newBulkApp},
+	}
+	for _, impl := range []string{"mpich", "craympi", "openmpi", "exampi"} {
+		for _, a := range apps {
+			t.Run(impl+"/"+a.name, func(t *testing.T) {
+				cfg := implFactory(t, impl)
+				plain, _, err := Run(cfg, ranks, a.factory(steps), -1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := ckptstore.MustOpen(ranks, ckptstore.Options{Delta: true, ChunkBytes: 512, ChainCap: 8})
+				buildChain(t, cfg, st, a.factory(steps), ranks, []int{2, 4, 6})
+
+				// Byte-identical application state, batch vs streaming.
+				batch, _, err := st.MaterializeHead()
+				if err != nil {
+					t.Fatal(err)
+				}
+				stream, stats, err := st.MaterializeStreamHead()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := range batch {
+					bi, err := ckptimg.Decode(batch[r])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(bi.AppState, stream[r].AppState) {
+						t.Fatalf("rank %d: streamed app state differs from batch", r)
+					}
+				}
+				if a.name == "bulk" {
+					for r, cs := range stats {
+						if !cs.Streamed || cs.Links != 2 {
+							t.Fatalf("rank %d did not stream a 2-link chain: %+v", r, cs)
+						}
+						if cs.ChunksSkipped == 0 {
+							t.Fatalf("rank %d inflated every chunk: %+v", r, cs)
+						}
+					}
+				}
+
+				// Both restart paths complete with the uninterrupted
+				// run's checksums; streaming pays no more restart VT.
+				cfg.Store = st
+				bst, err := RestartFromStore(cfg, st, a.factory(steps))
+				if err != nil {
+					t.Fatal(err)
+				}
+				scfg := cfg
+				scfg.StreamRestart = true
+				sst, err := RestartFromStore(scfg, st, a.factory(steps))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameChecksums(t, plain.Checksums, bst.Checksums, impl+"/"+a.name+" batch restart")
+				sameChecksums(t, plain.Checksums, sst.Checksums, impl+"/"+a.name+" streaming restart")
+				if sst.VT > bst.VT {
+					t.Fatalf("streaming restart VT %v above batch %v", sst.VT, bst.VT)
+				}
+			})
+		}
+	}
+}
+
+// TestStreamRestartCheaperOnDeepChains pins the cost-model win: with a
+// deep chain, batch restart pays one read startup per link while
+// streaming charges the winning chunks as a single pipelined read, so
+// streaming restart VT is strictly lower.
+func TestStreamRestartCheaperOnDeepChains(t *testing.T) {
+	const ranks, steps = 4, 12
+	cfg := implFactory(t, "mpich")
+	st := ckptstore.MustOpen(ranks, ckptstore.Options{Delta: true, ChunkBytes: 512, ChainCap: 8})
+	buildChain(t, cfg, st, newBulkApp(steps), ranks, []int{2, 4, 6, 8, 10})
+	if _, stats, err := st.MaterializeStreamHead(); err != nil {
+		t.Fatal(err)
+	} else if stats[0].Links != 4 {
+		t.Fatalf("head chain has %d links, want 4", stats[0].Links)
+	}
+
+	cfg.Store = st
+	cfg.ExitAtCheckpoint = false
+	bst, err := RestartFromStore(cfg, st, newBulkApp(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := cfg
+	scfg.StreamRestart = true
+	sst, err := RestartFromStore(scfg, st, newBulkApp(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameChecksums(t, bst.Checksums, sst.Checksums, "deep-chain restart")
+	if sst.VT >= bst.VT {
+		t.Fatalf("streaming restart VT %v not below batch %v", sst.VT, bst.VT)
+	}
+}

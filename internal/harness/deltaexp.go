@@ -135,9 +135,12 @@ func DeltaImages(opts Options) ([]DeltaRow, error) {
 // DeltaChainRow is one point of the restart-cost sweep: the same
 // checkpoint cadence driven through stores of different ChainCap, so
 // the head generation sits on delta chains of different depth when the
-// final restart resolves it. The delta-aware cost model charges the
-// base plus each delta link read individually, so deep chains pay more
-// restart virtual time while shallow ones store more bytes.
+// final restart resolves it. Each store is restarted twice — through
+// the batch resolver (every link decoded whole, one read startup per
+// link) and through the streaming resolver (newest-wins chunk
+// ownership, only winning chunks decompressed, links charged as one
+// pipelined read) — so the sweep shows restart VT and peak resolver
+// memory for both paths against chain depth.
 type DeltaChainRow struct {
 	// ChainCap is the store's consecutive-delta bound.
 	ChainCap int
@@ -147,16 +150,29 @@ type DeltaChainRow struct {
 	HeadLinks int
 	// StoredKB is the total bytes the backend holds across generations.
 	StoredKB float64
-	// RestartVTS is the final restarted segment's virtual time.
+	// RestartVTS is the batch-path final restarted segment's VT.
 	RestartVTS float64
-	// RestartOK records checksum equality with an uninterrupted run.
+	// StreamVTS is the streaming-path final restarted segment's VT.
+	StreamVTS float64
+	// ChunksRead / ChunksSkipped aggregate the streaming resolver's
+	// per-rank chunk accounting: skipped chunks are superseded payloads
+	// that were never decompressed.
+	ChunksRead    int
+	ChunksSkipped int
+	// PeakKB is the streaming resolver's worst per-rank resident-set
+	// estimate; BatchPeakKB the batch resolver's (O(image x links)).
+	PeakKB      float64
+	BatchPeakKB float64
+	// RestartOK records checksum equality with an uninterrupted run on
+	// both restart paths.
 	RestartOK bool
 }
 
 // DeltaChainSweep measures restart cost against chain depth: one
-// application checkpointed five times along a restart chain, with
+// application checkpointed nine times along a restart chain, with
 // ChainCap swept so the final restart resolves head chains of depth 0
-// (every generation a base) up to 4 (one base plus four deltas).
+// (every generation a base) up to 8 (one base plus eight deltas), on
+// both the batch and the streaming restart path.
 func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 	opts = opts.normalized()
 	spec, err := apps.ByName("comd")
@@ -169,8 +185,8 @@ func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 	}
 	in := spec.DefaultInput(apps.SiteDiscovery)
 	in.Ranks = 8
-	in.SimSteps = 12
-	ckptSteps := []int{2, 4, 6, 8, 10}
+	in.SimSteps = 20
+	ckptSteps := []int{2, 4, 6, 8, 10, 12, 14, 16, 18}
 
 	base := mana.Config{ImplName: "mpich", Factory: factory, FS: fsim.NFSv3()}
 	plain, _, err := mana.Run(base, in.Ranks, spec.New(in), -1)
@@ -179,7 +195,7 @@ func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 	}
 
 	var rows []DeltaChainRow
-	for _, chainCap := range []int{0, 1, 2, 4} {
+	for _, chainCap := range []int{0, 1, 2, 4, 8} {
 		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
 			Delta: chainCap > 0, ChainCap: chainCap, ChunkBytes: deltaChunkBytes,
 		})
@@ -207,6 +223,12 @@ func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("delta chain sweep cap=%d final restart: %w", chainCap, err)
 		}
+		scfg := cfg
+		scfg.StreamRestart = true
+		srst, err := mana.RestartFromStore(scfg, st, spec.New(in))
+		if err != nil {
+			return nil, fmt.Errorf("delta chain sweep cap=%d streaming restart: %w", chainCap, err)
+		}
 
 		gens := st.Generations()
 		links := 0
@@ -221,11 +243,31 @@ func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 			ChainCap: chainCap, Gens: len(gens), HeadLinks: links,
 			StoredKB:   float64(stored) / 1024,
 			RestartVTS: rst.VT.Seconds(),
-			RestartOK:  slices.Equal(plain.Checksums, rst.Checksums),
+			StreamVTS:  srst.VT.Seconds(),
+			RestartOK: slices.Equal(plain.Checksums, rst.Checksums) &&
+				slices.Equal(plain.Checksums, srst.Checksums),
+		}
+		// Chunk accounting and peak-memory estimates from one probe of
+		// each resolver (the restarts above consumed their own).
+		_, bstats, err := st.MaterializeHead()
+		if err != nil {
+			return nil, fmt.Errorf("delta chain sweep cap=%d batch stats: %w", chainCap, err)
+		}
+		for _, cs := range bstats {
+			row.BatchPeakKB = max(row.BatchPeakKB, float64(cs.PeakBytes)/1024)
+		}
+		_, sstats, err := st.MaterializeStreamHead()
+		if err != nil {
+			return nil, fmt.Errorf("delta chain sweep cap=%d streaming stats: %w", chainCap, err)
+		}
+		for _, cs := range sstats {
+			row.ChunksRead += cs.ChunksRead
+			row.ChunksSkipped += cs.ChunksSkipped
+			row.PeakKB = max(row.PeakKB, float64(cs.PeakBytes)/1024)
 		}
 		if opts.Logf != nil {
-			opts.Logf("delta chain cap=%d: links=%d stored=%.1fKB restart-vt=%.1fs ok=%v",
-				chainCap, row.HeadLinks, row.StoredKB, row.RestartVTS, row.RestartOK)
+			opts.Logf("delta chain cap=%d: links=%d stored=%.1fKB batch-vt=%.1fs stream-vt=%.1fs skipped=%d ok=%v",
+				chainCap, row.HeadLinks, row.StoredKB, row.RestartVTS, row.StreamVTS, row.ChunksSkipped, row.RestartOK)
 		}
 		rows = append(rows, row)
 	}
@@ -234,16 +276,17 @@ func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 
 // WriteDeltaChain renders the restart-cost-versus-chain-depth sweep.
 func WriteDeltaChain(w io.Writer, rows []DeltaChainRow) {
-	title := "Delta-aware restart cost: chain depth vs ChainCap (base + per-link reads)"
-	fmt.Fprintf(w, "%s\n%s\n%9s %6s %11s %12s %14s %10s\n", title, strings.Repeat("=", len(title)),
-		"ChainCap", "Gens", "Head links", "Stored KB", "Restart VT (s)", "Restart")
+	title := "Restart cost vs chain depth: batch (per-link reads) vs streaming (winning chunks only)"
+	fmt.Fprintf(w, "%s\n%s\n%9s %5s %6s %10s %9s %10s %7s %8s %9s %10s %9s\n", title, strings.Repeat("=", len(title)),
+		"ChainCap", "Gens", "Links", "Stored KB", "Batch VT", "Stream VT", "Read", "Skipped", "Peak KB", "BatchPk KB", "Restart")
 	for _, r := range rows {
 		status := "ok"
 		if !r.RestartOK {
 			status = "MISMATCH"
 		}
-		fmt.Fprintf(w, "%9d %6d %11d %12.1f %14.1f %10s\n",
-			r.ChainCap, r.Gens, r.HeadLinks, r.StoredKB, r.RestartVTS, status)
+		fmt.Fprintf(w, "%9d %5d %6d %10.1f %9.1f %10.1f %7d %8d %9.1f %10.1f %9s\n",
+			r.ChainCap, r.Gens, r.HeadLinks, r.StoredKB, r.RestartVTS, r.StreamVTS,
+			r.ChunksRead, r.ChunksSkipped, r.PeakKB, r.BatchPeakKB, status)
 	}
 	fmt.Fprintln(w)
 }

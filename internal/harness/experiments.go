@@ -236,10 +236,11 @@ func Table3(opts Options) ([]Table3Row, error) {
 			return nil, fmt.Errorf("table3 %s: %w", name, err)
 		}
 		// Aggregate per-rank image size: real encoded bytes plus the
-		// modeled working set.
+		// modeled working set. Only the META section matters here, so
+		// the peek never decodes (or decompresses) the app state.
 		var total int64
 		for _, data := range images {
-			img, err := ckptimg.Decode(data)
+			img, err := ckptimg.PeekMeta(data)
 			if err != nil {
 				return nil, err
 			}
