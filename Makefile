@@ -54,12 +54,21 @@ bench-drain:
 # Checkpoint-pipeline benchmarks: the codec and store hot paths this
 # repo optimizes PR over PR. ChainMaterialize (batch) and
 # StreamMaterialize (chunk-pipelined) run on the same store shape, so
-# their medians compare directly.
-BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers'
+# their medians compare directly. Backends sweeps the persistence tiers
+# (mem/fs/obj/tier) with their modeled commit-VT and drain-lag metrics.
+BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers|BenchmarkBackends'
 
 .PHONY: bench-ckpt
 bench-ckpt:
 	@$(GO) test -run '^$$' -bench $(BENCH_CKPT) -benchtime 3x -benchmem .
+
+# bench-store isolates the storage-backend sweep: per-backend commit
+# cost plus the modeled commit-VT / drain-lag metrics of the tiered
+# backends. It is part of BENCH_CKPT, so bench-compare tracks it too.
+.PHONY: bench-store
+bench-store:
+	@echo "Running storage-backend benchmarks (mem/fs/obj/tier)..."
+	@$(GO) test -run '^$$' -bench BenchmarkBackends -benchtime 3x -benchmem .
 
 # bench-compare runs the checkpoint benchmarks 5 times, saves them to
 # bench-new.txt, and renders an old-vs-new median table against
@@ -76,9 +85,11 @@ bench-compare:
 		echo "No bench-old.txt baseline; saved this run as the baseline."; \
 	fi
 
-# race-ckpt covers the parallel commit/materialize pool AND the
-# streaming restart pipeline (ckptstore stream_test.go exercises the
-# per-rank link-lookahead reads across pool widths).
+# race-ckpt covers the parallel commit/materialize pool, the streaming
+# restart pipeline (ckptstore stream_test.go exercises the per-rank
+# link-lookahead reads across pool widths), and the tier backend's
+# async drainer (tier_test.go interleaves Puts, read-through Gets,
+# Deletes, and drain barriers across goroutines).
 .PHONY: race-ckpt
 race-ckpt:
 	@echo "Running the checkpoint subsystem under the race detector..."

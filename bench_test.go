@@ -19,6 +19,7 @@ import (
 	"manasim/internal/ckptimg"
 	"manasim/internal/ckptstore"
 	mana "manasim/internal/core"
+	"manasim/internal/fsim"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
 	"manasim/internal/mpi"
@@ -671,6 +672,45 @@ func BenchmarkParallelMaterialize(b *testing.B) {
 				if len(imgs) != ranks {
 					b.Fatal("missing image")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkBackends measures Store.Commit across the registered
+// persistence backends on one generation shape (8 ranks x 1 MB), with
+// RetainBases bounding blob growth across iterations. ns/op is the real
+// pipeline cost (mem and obj are memory-speed; fs and tier hit disk);
+// commit-vt-ms is the modeled per-rank write charge of the tier each
+// backend models — the burst-buffer-vs-NFS gap the backends experiment
+// reports — and the tier row adds its modeled drain lag.
+func BenchmarkBackends(b *testing.B) {
+	const ranks, size = 8, 1 << 20
+	for _, name := range []string{"mem", "fs", "obj", "tier"} {
+		b.Run(name, func(b *testing.B) {
+			opts := ckptstore.Options{Backend: name, RetainBases: 2}
+			if name == "fs" || name == "tier" {
+				opts.Dir = b.TempDir()
+			}
+			st := ckptstore.MustOpen(ranks, opts)
+			images := benchGeneration(b, st, ranks, size, 0, 0)
+			perRank := int64(len(images[0]))
+			b.SetBytes(int64(ranks * size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Commit(images); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			model := st.CostModel()
+			if model.Name == "" {
+				model = fsim.NFSv3() // the job-FS default these backends charge
+			}
+			b.ReportMetric(model.WriteCost(perRank).Seconds()*1e3, "commit-vt-ms")
+			if d, ok := st.Backend().(interface{ DrainLag() time.Duration }); ok {
+				b.ReportMetric(d.DrainLag().Seconds()*1e3/float64(b.N), "drain-lag-ms/op")
 			}
 		})
 	}

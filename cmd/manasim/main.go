@@ -79,8 +79,14 @@ run flags:
   -compress gzip the application state in checkpoint images
   -compress-tier  compression tier with -compress: fast (flate BestSpeed,
                  hot checkpoints), balanced (default), or max (archival)
-  -store   checkpoint store backend (mem, fs)
-  -ckpt-dir directory of the fs store backend (implies -store fs)
+  -backend checkpoint store backend (mem, fs, obj, tier); -store is an alias
+  -front-tier    with -backend tier: fast front-tier backend (default mem,
+                 charged at the burst-buffer profile)
+  -back-tier     with -backend tier: durable back-tier backend the async
+                 drainer flushes to (default fs with -ckpt-dir, else obj)
+  -ckpt-dir directory of directory-backed store backends (implies -backend fs)
+  -retain-bases  prune superseded chains, keeping this many recent base
+                 generations (0 = keep every generation's blobs)
   -delta   write incremental (delta) checkpoint generations
   -stream-restart  with -restart-impl, restart through the chunk-pipelined
                  streaming path: each rank's base+delta chain resolves a
@@ -91,7 +97,8 @@ run flags:
   -site    discovery (default) or perlmutter
 
 experiment flags:
-  -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta, or all
+  -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta,
+           backends, or all
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
 `)
@@ -131,8 +138,12 @@ func cmdRun(args []string) error {
 	drainName := fs.String("drain", ckptsub.DefaultDrain, "drain strategy (twophase, toposort)")
 	compress := fs.Bool("compress", false, "gzip checkpoint image app state")
 	tierName := fs.String("compress-tier", "", "compression tier with -compress: fast, balanced, or max")
-	storeName := fs.String("store", "", "checkpoint store backend (mem, fs)")
-	ckptDir := fs.String("ckpt-dir", "", "fs store backend directory")
+	backendName := fs.String("backend", "", "checkpoint store backend (mem, fs, obj, tier)")
+	storeName := fs.String("store", "", "alias of -backend")
+	frontTier := fs.String("front-tier", "", "tier backend: fast front-tier backend (default mem)")
+	backTier := fs.String("back-tier", "", "tier backend: durable back-tier backend (default fs with -ckpt-dir, else obj)")
+	ckptDir := fs.String("ckpt-dir", "", "directory of directory-backed store backends")
+	retainBases := fs.Int("retain-bases", 0, "prune superseded chains, keeping this many recent base generations (0 = keep all)")
 	delta := fs.Bool("delta", false, "write incremental checkpoint generations")
 	streamRestart := fs.Bool("stream-restart", false, "restart through the chunk-pipelined streaming path (newest-wins chain resolution; superseded chunks are never decompressed)")
 	chunkKB := fs.Int("chunk-kb", 0, "delta chunk size in KiB (default ckptimg.AppChunk; shrink to match proxy snapshot sizes)")
@@ -182,19 +193,30 @@ func cmdRun(args []string) error {
 	if *legacy {
 		cfg.Design = mana.DesignLegacy
 	}
-	if *ckptDir != "" && *storeName == "" {
-		*storeName = "fs"
+	if *backendName == "" {
+		*backendName = *storeName
 	}
-	// -delta and -chunk-kb need an explicit store even without -store:
-	// the implicit in-core store has no chunk-size knob.
-	if *storeName != "" || *delta || *chunkKB > 0 {
+	// -front-tier / -back-tier only make sense composing the tier
+	// backend; asking for them implies it.
+	if *backendName == "" && (*frontTier != "" || *backTier != "") {
+		*backendName = "tier"
+	}
+	if *ckptDir != "" && *backendName == "" {
+		*backendName = "fs"
+	}
+	// -delta, -chunk-kb and -retain-bases need an explicit store even
+	// without -backend: the implicit in-core store has no such knobs.
+	if *backendName != "" || *delta || *chunkKB > 0 || *retainBases > 0 {
 		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
-			Backend:      *storeName,
+			Backend:      *backendName,
 			Dir:          *ckptDir,
+			FrontTier:    *frontTier,
+			BackTier:     *backTier,
 			Delta:        *delta,
 			Compress:     *compress,
 			CompressTier: tier,
 			ChunkBytes:   *chunkKB << 10,
+			RetainBases:  *retainBases,
 			Workers:      *workers,
 		})
 		if err != nil {
@@ -368,13 +390,19 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteDeltaChain(os.Stdout, chain)
+		case "backends":
+			rows, err := harness.Backends(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteBackends(os.Stdout, rows)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
 		return nil
 	}
 	if *name == "all" {
-		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta"} {
+		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends"} {
 			if err := run(n); err != nil {
 				return err
 			}

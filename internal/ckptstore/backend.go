@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"manasim/internal/fsim"
 )
 
 // Backend is the persistence layer under a Store: a flat key/blob
@@ -25,19 +27,44 @@ type Backend interface {
 	List() ([]string, error)
 	// Delete removes a blob; deleting a missing key is not an error.
 	Delete(key string) error
+	// CostModel reports the storage cost profile of the tier this
+	// backend models. A zero FS (empty Name) means the backend models
+	// nothing; checkpoint I/O is then charged against the job's
+	// configured filesystem profile (Config.FS).
+	CostModel() fsim.FS
+}
+
+// Drainer is implemented by backends whose Put defers part of the
+// durability work — the tier backend acknowledges at front-tier speed
+// and flushes to the back tier asynchronously. Store.Commit calls
+// DrainBarrier after the manifest write so its durability promise
+// covers the slow tier too; the barrier returns (and clears) every
+// flush error since the previous barrier.
+type Drainer interface {
+	DrainBarrier() error
 }
 
 // DefaultBackend is used when Options.Backend is empty.
 const DefaultBackend = "mem"
 
+// BackendConfig carries the per-store knobs a backend factory may need;
+// backends ignore fields that do not apply to them.
+type BackendConfig struct {
+	// Dir is the root directory of directory-backed backends ("fs", and
+	// the tier backend's directory-backed tiers).
+	Dir string
+	// Front and Back name the tier backend's composed tiers (defaults:
+	// "mem" in front, "fs" behind when Dir is set, "obj" otherwise).
+	Front, Back string
+}
+
 var (
 	backendMu  sync.Mutex
-	backendReg = map[string]func(dir string) (Backend, error){}
+	backendReg = map[string]func(cfg BackendConfig) (Backend, error){}
 )
 
-// RegisterBackend registers a backend factory under name. dir is the
-// Options.Dir value; backends without an on-disk root ignore it.
-func RegisterBackend(name string, f func(dir string) (Backend, error)) {
+// RegisterBackend registers a backend factory under name.
+func RegisterBackend(name string, f func(cfg BackendConfig) (Backend, error)) {
 	backendMu.Lock()
 	defer backendMu.Unlock()
 	if _, dup := backendReg[name]; dup {
@@ -48,7 +75,7 @@ func RegisterBackend(name string, f func(dir string) (Backend, error)) {
 
 // NewBackend instantiates the backend registered under name; the empty
 // string selects DefaultBackend.
-func NewBackend(name, dir string) (Backend, error) {
+func NewBackend(name string, cfg BackendConfig) (Backend, error) {
 	if name == "" {
 		name = DefaultBackend
 	}
@@ -58,7 +85,7 @@ func NewBackend(name, dir string) (Backend, error) {
 	if !ok {
 		return nil, fmt.Errorf("ckptstore: unknown backend %q (have %v)", name, BackendNames())
 	}
-	return f(dir)
+	return f(cfg)
 }
 
 // BackendNames lists the registered backends in sorted order.
@@ -74,8 +101,20 @@ func BackendNames() []string {
 }
 
 func init() {
-	RegisterBackend("mem", func(string) (Backend, error) { return newMemBackend(), nil })
+	RegisterBackend("mem", func(BackendConfig) (Backend, error) { return newMemBackend(), nil })
 	RegisterBackend("fs", newFSBackend)
+	RegisterBackend("obj", newObjBackend)
+	RegisterBackend("tier", newTierBackend)
+}
+
+// profileOr resolves a backend's own cost model, falling back to def for
+// backends that model nothing (the tier backend uses it to attach
+// default profiles to its tiers).
+func profileOr(b Backend, def fsim.FS) fsim.FS {
+	if m := b.CostModel(); m.Name != "" {
+		return m
+	}
+	return def
 }
 
 // ---------------------------------------------------------------------
@@ -89,6 +128,10 @@ type memBackend struct {
 func newMemBackend() *memBackend { return &memBackend{blobs: make(map[string][]byte)} }
 
 func (b *memBackend) Name() string { return "mem" }
+
+// CostModel is zero: in-process blobs model no storage tier of their
+// own, so the job's configured filesystem profile governs.
+func (b *memBackend) CostModel() fsim.FS { return fsim.FS{} }
 
 func (b *memBackend) Put(key string, data []byte) error {
 	b.mu.Lock()
@@ -133,17 +176,21 @@ type fsBackend struct {
 	mu   sync.Mutex
 }
 
-func newFSBackend(dir string) (Backend, error) {
-	if dir == "" {
+func newFSBackend(cfg BackendConfig) (Backend, error) {
+	if cfg.Dir == "" {
 		return nil, fmt.Errorf("ckptstore: fs backend needs a directory (Options.Dir / --ckpt-dir)")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("ckptstore: creating %s: %w", dir, err)
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckptstore: creating %s: %w", cfg.Dir, err)
 	}
-	return &fsBackend{root: dir}, nil
+	return &fsBackend{root: cfg.Dir}, nil
 }
 
 func (b *fsBackend) Name() string { return "fs" }
+
+// CostModel is zero: the fs backend is the direct path onto whatever
+// filesystem the job models (NFSv3 by default), so Config.FS governs.
+func (b *fsBackend) CostModel() fsim.FS { return fsim.FS{} }
 
 // path maps a key to a file path, refusing traversal outside the root.
 func (b *fsBackend) path(key string) (string, error) {

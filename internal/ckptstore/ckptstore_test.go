@@ -57,11 +57,11 @@ func commitGen(t *testing.T, s *Store, n, step int, app func(rank int) []byte) G
 }
 
 func TestBackendRegistry(t *testing.T) {
-	if _, err := NewBackend("no-such-backend", ""); err == nil {
+	if _, err := NewBackend("no-such-backend", BackendConfig{}); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 	names := BackendNames()
-	want := map[string]bool{"mem": false, "fs": false}
+	want := map[string]bool{"mem": false, "fs": false, "obj": false, "tier": false}
 	for _, n := range names {
 		if _, ok := want[n]; ok {
 			want[n] = true
@@ -72,7 +72,7 @@ func TestBackendRegistry(t *testing.T) {
 			t.Fatalf("backend %q not registered (have %v)", n, names)
 		}
 	}
-	if _, err := NewBackend("fs", ""); err == nil {
+	if _, err := NewBackend("fs", BackendConfig{}); err == nil {
 		t.Fatal("fs backend without a directory accepted")
 	}
 }
@@ -81,7 +81,21 @@ func TestBackendsPutGetListDelete(t *testing.T) {
 	for _, mk := range []func(t *testing.T) Backend{
 		func(t *testing.T) Backend { return newMemBackend() },
 		func(t *testing.T) Backend {
-			b, err := NewBackend("fs", t.TempDir())
+			b, err := NewBackend("fs", BackendConfig{Dir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+		func(t *testing.T) Backend {
+			b, err := NewBackend("obj", BackendConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b
+		},
+		func(t *testing.T) Backend {
+			b, err := NewBackend("tier", BackendConfig{Dir: t.TempDir()})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -116,7 +130,7 @@ func TestBackendsPutGetListDelete(t *testing.T) {
 }
 
 func TestFSBackendRejectsTraversal(t *testing.T) {
-	b, err := NewBackend("fs", t.TempDir())
+	b, err := NewBackend("fs", BackendConfig{Dir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,14 +59,69 @@
 //   - "fs" lays blobs out under a root directory (Options.Dir), one
 //     file per key, written via a temp file + rename so a torn write
 //     never leaves a half image under the final name.
+//   - "obj" models an object store: blobs in memory behind S3-style
+//     semantics where every Put/Get/List/Delete is a keyed round trip.
+//     It reports the fsim.ObjStore cost profile (per-op latency +
+//     bandwidth) through CostModel and counts its round trips.
+//   - "tier" composes a fast front tier over a slow durable back tier
+//     (Options.FrontTier/BackTier; defaults mem over fs-or-obj). See
+//     "The tier drainer" below.
+//
+// Every backend reports a CostModel: the storage profile the simulated
+// job charges for checkpoint writes and restart reads over that
+// backend. mem and fs report a zero model — they are the direct path
+// onto the job's configured filesystem (Config.FS, NFSv3 by default) —
+// while obj and tier attach their own tiers' profiles, so the modeled
+// cost follows the tier actually hit.
 //
 // The store persists a manifest blob (generation metadata, per-rank
-// chunk indexes, chain length) after every commit, so Open on an "fs"
-// directory written by an earlier process resumes the chain: the next
-// generation deltas against the last committed one.
+// chunk indexes, chain length, the retention cutoff) after every
+// commit, so Open on a backend written by an earlier process resumes
+// the chain: the next generation deltas against the last committed one.
+// Open also prunes orphan blobs — generation keys the manifest does not
+// cover, left by a process that crashed between its blob writes and its
+// manifest update — so a torn commit can neither resurface nor leak.
 //
-// Register custom backends (an object store, a burst buffer model) with
-// RegisterBackend; Options.Backend selects one by name.
+// Retention bounds blob growth over long lineages: with
+// Options.RetainBases set (or via explicit Prune), superseded chains
+// are deleted down to the K most recent base generations. Pruned
+// generations stay listed as metadata but materialize to ErrPruned; the
+// cutoff always lands on a base, so every surviving generation's chain
+// resolves without crossing it.
+//
+// Register custom backends with RegisterBackend; Options.Backend
+// selects one by name.
+//
+// # The tier drainer
+//
+// The tier backend's Put is write-through: it returns once the front
+// tier (the burst buffer) holds the blob, and a bounded pool of drain
+// workers (tierDrainWorkers, the pool.go discipline) flushes queued
+// keys to the back tier in FIFO order — blob Puts flush before the
+// manifest Put that references them, so a back-tier-only resume never
+// sees a manifest pointing at bytes that have not arrived. Ownership
+// and backpressure rules:
+//
+//   - The queue owns keys, not bytes: a flush re-reads the front tier
+//     at flush time, so re-Puts of a key collapse (newest wins) and the
+//     queue stays O(keys).
+//   - Delete cancels a pending flush and waits out an in-flight one
+//     before touching either tier, so a drain worker can never
+//     resurrect a deleted blob on the back tier.
+//   - DrainBarrier blocks until the queue and in-flight set are empty
+//     and returns (clearing) every flush failure since the previous
+//     barrier. Store.Commit issues it after the manifest write: the
+//     commit's durability promise covers the back tier, and a flush
+//     failure rolls the generation back like a manifest failure.
+//   - Get is read-through with promotion: a back-tier hit (a resume
+//     with a cold front tier) is copied into the front tier directly,
+//     never through the flush queue.
+//
+// The modeled side runs on two virtual clocks: front-tier durability
+// advances per Put at the front profile's cost, back-tier durability
+// trails it at the back profile's; DrainLag reports their gap — the
+// durability price of committing at burst-buffer speed — which the
+// backends experiment surfaces as its drain-lag column.
 //
 // # Concurrency model
 //

@@ -3,26 +3,56 @@ package ckptstore
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"manasim/internal/ckptimg"
+	"manasim/internal/fsim"
 )
+
+// DefaultChainCap is the delta-chain bound applied when Options.ChainCap
+// is left zero.
+const DefaultChainCap = 4
+
+// ChainCapNone is the documented ChainCap sentinel for "delta mode, but
+// every generation is a base": chunk indexes are still maintained, yet
+// PlanDelta never approves a delta. A literal zero cannot express this —
+// it is indistinguishable from an unset field and selects
+// DefaultChainCap.
+const ChainCapNone = -1
+
+// ChainCapUnbounded never forces a new base; chains grow until the next
+// un-indexable image. (Any negative value other than ChainCapNone is
+// treated the same way.)
+const ChainCapUnbounded = -2
 
 // Options parameterizes a Store.
 type Options struct {
 	// Backend names the registered persistence backend (default
 	// DefaultBackend, the in-memory store).
 	Backend string
-	// Dir is the root directory of directory-backed backends ("fs").
+	// Dir is the root directory of directory-backed backends ("fs" and
+	// the tier backend's directory-backed tiers).
 	Dir string
+	// FrontTier and BackTier name the "tier" backend's composed tiers
+	// (defaults: "mem" in front; "fs" behind when Dir is set, "obj"
+	// otherwise). Ignored by other backends.
+	FrontTier, BackTier string
 	// Delta enables incremental generations: after a base, ranks whose
 	// chunk index is known write delta images until ChainCap is hit.
 	Delta bool
 	// ChainCap bounds consecutive delta generations before a new base
-	// is forced (default 4; <0 means unbounded).
+	// is forced. Zero selects DefaultChainCap; ChainCapNone forces every
+	// generation to a base; ChainCapUnbounded (or any other negative)
+	// never forces one.
 	ChainCap int
+	// RetainBases, when positive, bounds blob growth: after each commit
+	// the store prunes superseded chains so at most RetainBases base
+	// generations (each with its trailing deltas) keep blobs. Zero keeps
+	// every generation's blobs (the caller can still Prune explicitly).
+	RetainBases int
 	// ChunkBytes is the delta chunk size (default ckptimg.AppChunk).
 	// All generations of one store share it.
 	ChunkBytes int
@@ -45,8 +75,12 @@ func (o Options) withDefaults() Options {
 	if o.Backend == "" {
 		o.Backend = DefaultBackend
 	}
-	if o.ChainCap == 0 {
-		o.ChainCap = 4
+	switch o.ChainCap {
+	case 0:
+		o.ChainCap = DefaultChainCap
+	case ChainCapNone:
+		// The honored explicit zero: PlanDelta refuses every delta.
+		o.ChainCap = 0
 	}
 	if o.ChunkBytes <= 0 {
 		o.ChunkBytes = ckptimg.AppChunk
@@ -147,6 +181,10 @@ type rankIndex struct {
 	X     ckptimg.ChunkIndex
 }
 
+// ErrPruned reports a generation whose blobs were removed by retention:
+// its metadata is still listed, but it can no longer be materialized.
+var ErrPruned = errors.New("generation pruned by retention")
+
 // manifest is the persisted store state, rewritten after every commit
 // so a new process resuming on the same backend continues the chain.
 type manifest struct {
@@ -155,6 +193,9 @@ type manifest struct {
 	Gens       []Generation
 	Chain      int // consecutive delta generations at the head
 	Index      []rankIndex
+	// PrunedTo is the first generation whose blobs survive retention;
+	// generations below it exist only as metadata.
+	PrunedTo int
 }
 
 const manifestKey = "manifest"
@@ -168,24 +209,33 @@ type Store struct {
 	n    int
 	opts Options
 
-	gens  []Generation
-	chain int
-	index []rankIndex
+	gens     []Generation
+	chain    int
+	index    []rankIndex
+	prunedTo int
+	// retentionErr is the outcome of the latest automatic prune
+	// (LastRetentionErr); retention never fails a durable commit.
+	retentionErr error
 }
 
 // Open builds a store for an n-rank job over the configured backend.
 // If the backend already holds a manifest (a directory written by an
-// earlier process), the generation chain is resumed from it.
+// earlier process), the generation chain is resumed from it, and any
+// blob the manifest does not account for — a generation half-written by
+// a process that crashed mid-commit — is pruned, so a crash before the
+// manifest update can never leave dark bytes or be mistaken for a
+// committed generation.
 func Open(n int, o Options) (*Store, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ckptstore: store needs a positive rank count, got %d", n)
 	}
 	o = o.withDefaults()
-	b, err := NewBackend(o.Backend, o.Dir)
+	b, err := NewBackend(o.Backend, BackendConfig{Dir: o.Dir, Front: o.FrontTier, Back: o.BackTier})
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{b: b, n: n, opts: o, index: make([]rankIndex, n)}
+	resumed := false
 	if data, err := b.Get(manifestKey); err == nil {
 		var m manifest
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
@@ -197,9 +247,41 @@ func Open(n int, o Options) (*Store, error) {
 		if m.ChunkBytes != o.ChunkBytes {
 			return nil, fmt.Errorf("ckptstore: backend chunk size %d != configured %d", m.ChunkBytes, o.ChunkBytes)
 		}
-		s.gens, s.chain, s.index = m.Gens, m.Chain, m.Index
+		s.gens, s.chain, s.index, s.prunedTo = m.Gens, m.Chain, m.Index, m.PrunedTo
+		resumed = true
+	}
+	if err := s.pruneOrphans(resumed); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// pruneOrphans deletes generation blobs the manifest does not cover:
+// leftovers of a process that crashed between its blob writes and its
+// manifest update. resumed distinguishes "no manifest at all" (every
+// generation blob is an orphan) from a decoded one.
+func (s *Store) pruneOrphans(resumed bool) error {
+	keys, err := s.b.List()
+	if err != nil {
+		return fmt.Errorf("ckptstore: scanning for orphan blobs: %w", err)
+	}
+	head := 0
+	if resumed {
+		head = len(s.gens)
+	}
+	var errs []error
+	for _, k := range keys {
+		var seq, rank int
+		if n, _ := fmt.Sscanf(k, "gen%d/rank%d", &seq, &rank); n != 2 {
+			continue
+		}
+		if seq >= head {
+			if err := s.b.Delete(k); err != nil {
+				errs = append(errs, fmt.Errorf("ckptstore: pruning orphan %q: %w", k, err))
+			}
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // MustOpen is Open for callers whose options are statically valid.
@@ -216,6 +298,15 @@ func (s *Store) Ranks() int { return s.n }
 
 // BackendName reports the backend in use.
 func (s *Store) BackendName() string { return s.b.Name() }
+
+// Backend exposes the persistence backend (experiments and tests
+// inspect tier drain statistics and object-store op counts through it).
+func (s *Store) Backend() Backend { return s.b }
+
+// CostModel reports the backend's storage cost profile; a zero FS
+// (empty Name) means the backend models no tier of its own and the
+// job's configured filesystem profile governs checkpoint I/O charges.
+func (s *Store) CostModel() fsim.FS { return s.b.CostModel() }
 
 // Opts reports the resolved options.
 func (s *Store) Opts() Options { return s.opts }
@@ -351,12 +442,13 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 	}
 
 	// Phase 2: persist every rank blob in parallel. On any failure the
-	// generation's blobs are deleted so the backend holds no torso.
+	// generation's blobs are deleted so the backend holds no torso; a
+	// rollback that itself fails to delete is reported alongside, never
+	// swallowed — the caller must know blobs leaked.
 	if err := forEachRank(s.n, s.opts.Workers, func(r int) error {
 		return s.b.Put(key(seq, r), images[r])
 	}); err != nil {
-		s.discardGeneration(seq)
-		return Generation{}, err
+		return Generation{}, errors.Join(err, s.discardGeneration(seq))
 	}
 
 	// Phase 3: flip the in-memory chain and the manifest together; a
@@ -369,21 +461,124 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 	} else {
 		s.chain = 0
 	}
-	if err := s.persistManifest(); err != nil {
+	rollback := func(err error) error {
 		s.gens = s.gens[:len(s.gens)-1]
 		s.chain, s.index = oldChain, oldIndex
-		s.discardGeneration(seq)
-		return Generation{}, err
+		return errors.Join(err, s.discardGeneration(seq))
+	}
+	if err := s.persistManifest(); err != nil {
+		return Generation{}, rollback(err)
+	}
+
+	// Phase 4: for write-behind backends, wait out the back-tier flush —
+	// Commit's durability promise covers the slow tier. A flush failure
+	// fails the commit like a manifest failure (the rolled-back manifest
+	// is rewritten so a resume does not see the dead generation).
+	if d, ok := s.b.(Drainer); ok {
+		if err := d.DrainBarrier(); err != nil {
+			err = rollback(fmt.Errorf("ckptstore: draining to the back tier: %w", err))
+			if merr := s.persistManifest(); merr != nil {
+				err = errors.Join(err, merr)
+			} else if berr := d.DrainBarrier(); berr != nil {
+				// The rolled-back manifest's own flush failed: the back
+				// tier may still list the dead generation. Report it —
+				// losing this error would hide a resume hazard.
+				err = errors.Join(err, fmt.Errorf("ckptstore: flushing the rolled-back manifest: %w", berr))
+			}
+			return Generation{}, err
+		}
+	}
+
+	// Phase 5: retention. The generation is durable at this point, so a
+	// prune failure must not fail the commit (callers would mistake a
+	// committed generation for a failed one). The failure is recorded —
+	// LastRetentionErr exposes it — and the next prune retries the same
+	// range, since the cutoff never advances past a failed delete.
+	if s.opts.RetainBases > 0 {
+		s.retentionErr = s.pruneLocked(s.opts.RetainBases)
 	}
 	return gen, nil
 }
 
+// LastRetentionErr reports the outcome of the most recent automatic
+// retention pass (Options.RetainBases): nil after a clean prune, the
+// aggregated delete failures otherwise. Retention failures never fail
+// Commit — the generation is already durable when pruning runs — so
+// callers that care about leaked blobs poll here or call Prune
+// explicitly.
+func (s *Store) LastRetentionErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retentionErr
+}
+
 // discardGeneration removes every blob a failed commit may have written
-// for seq; the caller holds s.mu.
-func (s *Store) discardGeneration(seq int) {
+// for seq, aggregating delete failures — a rollback that leaks blobs
+// must not report success. The caller holds s.mu.
+func (s *Store) discardGeneration(seq int) error {
+	var errs []error
 	for r := 0; r < s.n; r++ {
-		_ = s.b.Delete(key(seq, r))
+		if err := s.b.Delete(key(seq, r)); err != nil {
+			errs = append(errs, fmt.Errorf("ckptstore: discarding generation %d rank %d: %w", seq, r, err))
+		}
 	}
+	return errors.Join(errs...)
+}
+
+// Prune removes the blobs of superseded chains, keeping the most recent
+// keepBases base generations and every delta chained onto them. Pruned
+// generations stay listed in Generations() as metadata but can no
+// longer be materialized (ErrPruned). Commit prunes automatically when
+// Options.RetainBases is set; Prune is the explicit form.
+func (s *Store) Prune(keepBases int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruneLocked(keepBases)
+}
+
+// pruneLocked is Prune under s.mu. The cutoff always lands on a base
+// generation, so every surviving generation's chain resolves without
+// crossing into pruned territory.
+func (s *Store) pruneLocked(keepBases int) error {
+	if keepBases <= 0 {
+		return fmt.Errorf("ckptstore: Prune needs a positive base count, got %d", keepBases)
+	}
+	var bases []int
+	for _, g := range s.gens {
+		if g.Base() {
+			bases = append(bases, g.Seq)
+		}
+	}
+	if len(bases) <= keepBases {
+		return nil
+	}
+	cutoff := bases[len(bases)-keepBases]
+	if cutoff <= s.prunedTo {
+		return nil
+	}
+	var errs []error
+	for seq := s.prunedTo; seq < cutoff; seq++ {
+		for r := 0; r < s.n; r++ {
+			if err := s.b.Delete(key(seq, r)); err != nil {
+				errs = append(errs, fmt.Errorf("ckptstore: pruning generation %d rank %d: %w", seq, r, err))
+			}
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		// Deleting a missing key is not an error, so the retry on the
+		// next prune is safe; the cutoff does not advance past failures.
+		return err
+	}
+	s.prunedTo = cutoff
+	return s.persistManifest()
+}
+
+// PrunedBefore reports the first generation whose blobs survive
+// retention; generations below it are metadata only.
+func (s *Store) PrunedBefore() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prunedTo
 }
 
 // persistManifest rewrites the manifest blob; the caller holds s.mu.
@@ -392,6 +587,7 @@ func (s *Store) persistManifest() error {
 	if err := gob.NewEncoder(&buf).Encode(&manifest{
 		N: s.n, ChunkBytes: s.opts.ChunkBytes,
 		Gens: s.gens, Chain: s.chain, Index: s.index,
+		PrunedTo: s.prunedTo,
 	}); err != nil {
 		return fmt.Errorf("ckptstore: encoding manifest: %w", err)
 	}
@@ -425,10 +621,13 @@ func (s *Store) Head() (Generation, bool) {
 // immutable, so Materialize never blocks a concurrent Commit.
 func (s *Store) Materialize(seq int) ([][]byte, []ChainStats, error) {
 	s.mu.Lock()
-	nGens := len(s.gens)
+	nGens, prunedTo := len(s.gens), s.prunedTo
 	s.mu.Unlock()
 	if seq < 0 || seq >= nGens {
 		return nil, nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, nGens)
+	}
+	if seq < prunedTo {
+		return nil, nil, fmt.Errorf("ckptstore: generation %d: %w (blobs survive from generation %d on)", seq, ErrPruned, prunedTo)
 	}
 	out := make([][]byte, s.n)
 	stats := make([]ChainStats, s.n)
@@ -457,11 +656,24 @@ func (s *Store) MaterializeHead() ([][]byte, []ChainStats, error) {
 	return s.Materialize(n - 1)
 }
 
+// getBlob reads one rank blob without s.mu. Committed blobs are never
+// rewritten, but retention may delete them concurrently: a read that
+// lost that race reports the typed ErrPruned instead of a bare missing
+// blob, so callers matching errors.Is keep working.
+func (s *Store) getBlob(seq, rank int) ([]byte, error) {
+	data, err := s.b.Get(key(seq, rank))
+	if err != nil && seq < s.PrunedBefore() {
+		return nil, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", seq, ErrPruned)
+	}
+	return data, err
+}
+
 // materializeRank resolves one rank's chain at seq. It runs without
 // s.mu: it touches only the backend (safe for concurrent use) and blobs
-// of committed generations, which are never rewritten.
+// of committed generations, which are only ever deleted by retention
+// (surfaced as ErrPruned), never rewritten.
 func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
-	data, err := s.b.Get(key(seq, rank))
+	data, err := s.getBlob(seq, rank)
 	if err != nil {
 		return nil, ChainStats{}, err
 	}
@@ -493,7 +705,7 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 		if cur < 0 {
 			return nil, ChainStats{}, fmt.Errorf("ckptstore: rank %d delta chain has no base", rank)
 		}
-		data, err = s.b.Get(key(cur, rank))
+		data, err = s.getBlob(cur, rank)
 		if err != nil {
 			return nil, ChainStats{}, err
 		}

@@ -39,10 +39,13 @@ import (
 // byte-identical application state for the same generation.
 func (s *Store) MaterializeStream(seq int) ([]*ckptimg.Image, []ChainStats, error) {
 	s.mu.Lock()
-	nGens := len(s.gens)
+	nGens, prunedTo := len(s.gens), s.prunedTo
 	s.mu.Unlock()
 	if seq < 0 || seq >= nGens {
 		return nil, nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, nGens)
+	}
+	if seq < prunedTo {
+		return nil, nil, fmt.Errorf("ckptstore: generation %d: %w (blobs survive from generation %d on)", seq, ErrPruned, prunedTo)
 	}
 	out := make([]*ckptimg.Image, s.n)
 	stats := make([]ChainStats, s.n)
@@ -102,7 +105,7 @@ type prefixCheck struct {
 // streaming pipeline. Like materializeRank it runs without s.mu:
 // committed generations are immutable.
 func (s *Store) materializeRankStream(seq, rank int) (*ckptimg.Image, ChainStats, error) {
-	data, err := s.b.Get(key(seq, rank))
+	data, err := s.getBlob(seq, rank)
 	if err != nil {
 		return nil, ChainStats{}, err
 	}
@@ -163,6 +166,9 @@ func (s *Store) materializeRankStream(seq, rank int) (*ckptimg.Image, ChainStats
 		}
 		res := <-pf
 		if res.err != nil {
+			if cur < s.PrunedBefore() {
+				return nil, ChainStats{}, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", cur, ErrPruned)
+			}
 			return nil, ChainStats{}, res.err
 		}
 		data = res.data

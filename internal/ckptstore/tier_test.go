@@ -1,0 +1,312 @@
+package ckptstore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestTier builds a tier backend over a mem front and an fs back in
+// a temp directory, returning both the composed backend and direct
+// access to its back tier.
+func newTestTier(t *testing.T) (Backend, Backend) {
+	t.Helper()
+	dir := t.TempDir()
+	tier, err := NewBackend("tier", BackendConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewBackend("fs", BackendConfig{Dir: dir + "/back"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier, back
+}
+
+// TestTierWriteThroughDrainsToBack: Put acknowledges from the front
+// tier; after the drain barrier the back tier holds the same bytes.
+func TestTierWriteThroughDrainsToBack(t *testing.T) {
+	tier, back := newTestTier(t)
+	for i := 0; i < 8; i++ {
+		if err := tier.Put(fmt.Sprintf("gen0000/rank%02d", i), []byte{byte(i), 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		got, err := back.Get(fmt.Sprintf("gen0000/rank%02d", i))
+		if err != nil || !bytes.Equal(got, []byte{byte(i), 1, 2}) {
+			t.Fatalf("back tier blob %d: %v, %v", i, got, err)
+		}
+	}
+	type flushCounter interface{ Flushed() int }
+	if got := tier.(flushCounter).Flushed(); got != 8 {
+		t.Fatalf("flushed %d blobs, want 8", got)
+	}
+}
+
+// TestTierReadThroughPromotes: a key present only on the back tier (a
+// resume with a cold burst buffer) is served and promoted, so the next
+// read no longer needs the back tier.
+func TestTierReadThroughPromotes(t *testing.T) {
+	tier, back := newTestTier(t)
+	if err := back.Put("manifest", []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tier.Get("manifest")
+	if err != nil || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("read-through: %q, %v", got, err)
+	}
+	// Remove the back copy: a promoted key must now be served from the
+	// front tier alone.
+	if err := back.Delete("manifest"); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := tier.Get("manifest"); err != nil || !bytes.Equal(got, []byte("durable")) {
+		t.Fatalf("promotion missed the front tier: %q, %v", got, err)
+	}
+}
+
+// TestTierListUnions: keys still in flight to the back tier and keys
+// only on the back tier both appear exactly once.
+func TestTierListUnions(t *testing.T) {
+	tier, back := newTestTier(t)
+	if err := back.Put("gen0000/rank00", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Put("gen0001/rank00", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := tier.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "gen0000/rank00" || keys[1] != "gen0001/rank00" {
+		t.Fatalf("union list %v", keys)
+	}
+}
+
+// TestTierDeleteNeverResurrects: deleting a freshly Put key must leave
+// neither tier holding it, regardless of how far the async flush got.
+func TestTierDeleteNeverResurrects(t *testing.T) {
+	tier, back := newTestTier(t)
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("gen%04d/rank00", i)
+		if err := tier.Put(k, []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := tier.Delete(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := tier.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 0 {
+		t.Fatalf("deleted keys resurrected: %v", keys)
+	}
+	if keys, _ := back.List(); len(keys) != 0 {
+		t.Fatalf("back tier resurrected deleted keys: %v", keys)
+	}
+}
+
+// TestTierDrainLagModeled: the modeled back-tier durability clock trails
+// the front-tier acknowledgements — the drain-lag column of the
+// backends experiment.
+func TestTierDrainLagModeled(t *testing.T) {
+	tier, _ := newTestTier(t)
+	for i := 0; i < 4; i++ {
+		if err := tier.Put(fmt.Sprintf("gen0000/rank%02d", i), make([]byte, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lag := tier.(*tierBackend).DrainLag()
+	if lag <= 0 {
+		t.Fatalf("drain lag %v, want positive (back tier slower than front)", lag)
+	}
+	if cm := tier.CostModel(); cm.Name != "burstbuffer" {
+		t.Fatalf("tier cost model %q, want the burst-buffer front profile", cm.Name)
+	}
+}
+
+// slowBackend wraps a backend, delaying and recording Puts — the
+// ordering probe for the drainer's manifest barrier.
+type slowBackend struct {
+	Backend
+	delay map[string]time.Duration
+
+	mu    sync.Mutex
+	order []string
+}
+
+func (b *slowBackend) Put(key string, data []byte) error {
+	if d := b.delay[key]; d > 0 {
+		time.Sleep(d)
+	}
+	if err := b.Backend.Put(key, data); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	b.order = append(b.order, key)
+	b.mu.Unlock()
+	return nil
+}
+
+// TestTierManifestFlushesAfterBlobs pins the drainer's ordering
+// invariant with more than one worker: even when a blob's back-tier
+// copy is slow, the manifest referencing it must complete last — a
+// crash mid-drain must never leave a back tier whose manifest lists a
+// generation missing its blobs.
+func TestTierManifestFlushesAfterBlobs(t *testing.T) {
+	rec := &slowBackend{
+		Backend: newMemBackend(),
+		delay:   map[string]time.Duration{key(0, 0): 30 * time.Millisecond},
+	}
+	tb := &tierBackend{
+		front:    newMemBackend(),
+		back:     rec,
+		queued:   make(map[string]bool),
+		inflight: make(map[string]bool),
+	}
+	tb.cond = sync.NewCond(&tb.mu)
+	for r := 0; r < 2; r++ {
+		if err := tb.Put(key(0, r), []byte{byte(r)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Put(manifestKey, []byte("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(rec.order); n != 3 || rec.order[n-1] != manifestKey {
+		t.Fatalf("back-tier completion order %v: manifest did not land last", rec.order)
+	}
+}
+
+// TestTierFlushFailureFailsCommit injects a back-tier write failure:
+// the commit's drain barrier must surface it, the chain must not
+// advance, and the store must stay usable.
+func TestTierFlushFailureFailsCommit(t *testing.T) {
+	inner := newMemBackend()
+	tb := &tierBackend{
+		front:    newMemBackend(),
+		back:     &flakyBackend{Backend: inner, failPut: key(0, 1)},
+		queued:   make(map[string]bool),
+		inflight: make(map[string]bool),
+	}
+	tb.cond = sync.NewCond(&tb.mu)
+	s := &Store{b: tb, n: 2, opts: Options{Workers: 1}.withDefaults(), index: make([]rankIndex, 2)}
+
+	images := encodeGen(t, s, 2, 0, func(r int) []byte { return appState(500, 0) })
+	if _, err := s.Commit(images); err == nil {
+		t.Fatal("commit over a failing back tier succeeded")
+	} else if !strings.Contains(err.Error(), "injected put failure") {
+		t.Fatalf("flush failure not surfaced: %v", err)
+	}
+	if gens := s.Generations(); len(gens) != 0 {
+		t.Fatalf("failed commit recorded a generation: %v", gens)
+	}
+	// Once the back tier heals, the same generation commits.
+	tb.back.(*flakyBackend).failPut = ""
+	if _, err := s.Commit(images); err != nil {
+		t.Fatalf("recovery commit: %v", err)
+	}
+}
+
+// TestTierDrainRace hammers the tier backend's async drain from many
+// goroutines — Puts, read-throughs, Deletes, and barriers interleaved.
+// Run under -race (make race-ckpt) this is the concurrency-safety proof
+// for the drainer.
+func TestTierDrainRace(t *testing.T) {
+	tier, _ := newTestTier(t)
+	const writers, keysPer = 4, 16
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*3)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPer; i++ {
+				k := fmt.Sprintf("gen%04d/rank%02d", i, w)
+				if err := tier.Put(k, bytes.Repeat([]byte{byte(w)}, 256)); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := tier.Get(k); err != nil {
+					errs <- err
+					return
+				}
+				if i%4 == 3 {
+					if err := tier.Delete(k); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			if err := tier.(Drainer).DrainBarrier(); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestObjBackendRoundTrips pins the object-store model: every op is a
+// counted round trip with modeled latency, and the backend reports the
+// objstore cost profile that checkpoint I/O is charged against.
+func TestObjBackendRoundTrips(t *testing.T) {
+	b, err := NewBackend("obj", BackendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm := b.CostModel(); cm.Name != "objstore" {
+		t.Fatalf("cost model %q, want objstore", cm.Name)
+	}
+	if err := b.Put("gen0000/rank00", make([]byte, 2<<20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get("gen0000/rank00"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.List(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete("gen0000/rank00"); err != nil {
+		t.Fatal(err)
+	}
+	ops := b.(*objBackend).Ops()
+	if ops.Puts != 1 || ops.Gets != 1 || ops.Lists != 1 || ops.Deletes != 1 {
+		t.Fatalf("round trips %+v", ops)
+	}
+	// Four round trips at the profile's own formulas: a full-latency
+	// Put, a quarter-latency Get (fsim reads skip most of the sync
+	// cost), and two payload-less metadata ops.
+	min := 3 * b.CostModel().Startup
+	if ops.VT < min {
+		t.Fatalf("modeled VT %v below the round-trip floor %v", ops.VT, min)
+	}
+	if _, err := b.Get("gen0000/rank00"); err == nil {
+		t.Fatal("deleted object still readable")
+	}
+}

@@ -112,12 +112,13 @@ func (r *Runtime) doCheckpoint(step int) error {
 		}
 	}
 
-	// Phase 6: serialize the upper half and write the image.
+	// Phase 6: serialize the upper half and write the image, charged
+	// against the storage tier the store's backend actually models.
 	data, totalBytes, err := r.buildImage(step)
 	if err != nil {
 		return err
 	}
-	r.clock.Advance(r.cfg.FS.WriteCost(totalBytes))
+	r.clock.Advance(r.ckptFS().WriteCost(totalBytes))
 	if err := r.co.Deliver(r.rank, data); err != nil {
 		return err
 	}
@@ -128,6 +129,20 @@ func (r *Runtime) doCheckpoint(step int) error {
 	err = r.lower.Barrier(r.manaComm)
 	r.bnd.Leave()
 	return err
+}
+
+// ckptFS resolves the filesystem model checkpoint I/O is charged
+// against: the store backend's own cost profile when it has one (the
+// obj backend's round-trip model, the tier backend's burst-buffer front
+// tier), the job-wide Config.FS otherwise (the mem and fs backends, the
+// direct NFS-model path).
+func (r *Runtime) ckptFS() fsim.FS {
+	if r.co != nil {
+		if m := r.co.Store().CostModel(); m.Name != "" {
+			return m
+		}
+	}
+	return r.cfg.FS
 }
 
 // completePendingRecvs finishes every outstanding Irecv, writing into

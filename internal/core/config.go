@@ -69,7 +69,10 @@ type Config struct {
 	// constructor calls, or decode via MPI_Type_get_envelope/contents at
 	// checkpoint time (Section 1.2 novelty 4; Section 5 category 2).
 	DtypeStrategy vid.Strategy
-	// FS is the checkpoint filesystem profile (default NFSv3).
+	// FS is the checkpoint filesystem profile (default NFSv3). When the
+	// checkpoint store's backend models a storage tier of its own (the
+	// "obj" and "tier" backends report a ckptstore CostModel), that
+	// profile governs checkpoint writes and store restarts instead.
 	FS fsim.FS
 	// ExitAtCheckpoint stops the job right after a checkpoint completes
 	// (preemption, the urgent-HPC scenario of the introduction).

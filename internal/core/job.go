@@ -296,6 +296,12 @@ func RestartJobFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (
 		return nil, fmt.Errorf("mana: restart from store: no store")
 	}
 	cfg.Store = st
+	// Restart reads are charged against the tier the store's backend
+	// models (the burst-buffer front tier, the object store's round
+	// trips); backends without a model keep the configured filesystem.
+	if m := st.CostModel(); m.Name != "" {
+		cfg.FS = m
+	}
 	if cfg.StreamRestart {
 		imgs, chains, err := st.MaterializeStreamHead()
 		if err != nil {

@@ -103,6 +103,86 @@ func TestDeltaChainRoundTripAllImpls(t *testing.T) {
 	}
 }
 
+// TestBackendsRestartByteIdenticalAllImpls is the tiered-storage
+// acceptance property: on every simulated MPI implementation, the
+// run → checkpoint → restart → checkpoint → restart chain produces
+// byte-identical application state and checksums over every registered
+// backend — persistence tiers change where bytes live and what I/O
+// costs, never what restarts.
+func TestBackendsRestartByteIdenticalAllImpls(t *testing.T) {
+	const ranks, steps, s1, s2 = 4, 10, 3, 7
+	for _, impl := range []string{"mpich", "craympi", "openmpi", "exampi"} {
+		t.Run(impl, func(t *testing.T) {
+			cfg := implFactory(t, impl)
+			plain, _, err := Run(cfg, ranks, newRingApp(steps), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ref [][]byte // per-rank app state from the first backend
+			for _, backend := range []string{"mem", "fs", "obj", "tier"} {
+				opts := ckptstore.Options{Backend: backend, Delta: true, ChunkBytes: 64, ChainCap: 8}
+				if backend == "fs" || backend == "tier" {
+					opts.Dir = t.TempDir()
+				}
+				st, err := ckptstore.Open(ranks, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rst := chainCheckpoints(t, cfg, st, newRingApp(steps), ranks, s1, s2)
+				sameChecksums(t, plain.Checksums, rst.Checksums, impl+"/"+backend+" restart")
+
+				imgs, _, err := st.MaterializeHead()
+				if err != nil {
+					t.Fatal(err)
+				}
+				states := make([][]byte, ranks)
+				for r, data := range imgs {
+					img, err := ckptimg.Decode(data)
+					if err != nil {
+						t.Fatal(err)
+					}
+					states[r] = img.AppState
+				}
+				if ref == nil {
+					ref = states
+					continue
+				}
+				for r := 0; r < ranks; r++ {
+					if !bytes.Equal(ref[r], states[r]) {
+						t.Fatalf("%s/%s rank %d: restart state differs from the mem backend's", impl, backend, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTierCommitBeatsNFSModel pins the headline of the backends sweep:
+// committing onto the burst-buffer front tier is charged far less
+// virtual time than the same checkpoint through the direct NFS model.
+func TestTierCommitBeatsNFSModel(t *testing.T) {
+	const ranks, steps = 4, 8
+	run := func(backend string) Stats {
+		t.Helper()
+		opts := ckptstore.Options{Backend: backend}
+		if backend == "fs" || backend == "tier" {
+			opts.Dir = t.TempDir()
+		}
+		cfg := implFactory(t, "mpich")
+		cfg.Store = ckptstore.MustOpen(ranks, opts)
+		cfg.ExitAtCheckpoint = true
+		st, _, err := Run(cfg, ranks, newRingApp(steps), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	nfs, tier := run("fs"), run("tier")
+	if tier.VT >= nfs.VT {
+		t.Fatalf("tier commit VT %v not under the NFS-model path's %v", tier.VT, nfs.VT)
+	}
+}
+
 // TestDeltaChainCapForcesBaseUnderMana drives enough generations
 // through restarts to hit the chain cap and sees a fresh base appear.
 func TestDeltaChainCapForcesBaseUnderMana(t *testing.T) {

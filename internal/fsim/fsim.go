@@ -45,6 +45,45 @@ func Lustre() FS {
 	return FS{Name: "lustre", Startup: 300 * time.Millisecond, PerMB: time.Millisecond}
 }
 
+// ObjStore returns an object-store profile (S3-style REST semantics):
+// every operation is a keyed round trip paying request latency
+// (authentication, metadata, routing) before a modest per-rank stream
+// (~125 MB/s). Small images are round-trip-dominated, exactly the
+// object-store trend.
+func ObjStore() FS {
+	return FS{Name: "objstore", Startup: 120 * time.Millisecond, PerMB: 8 * time.Millisecond}
+}
+
+// BurstBuffer returns a node-local NVMe burst-buffer profile (DataWarp
+// style): negligible setup and ~2 GB/s/rank streaming. It is the fast
+// front tier of the tiered checkpoint backend; durability on the slow
+// tier arrives later via the drainer.
+func BurstBuffer() FS {
+	return FS{Name: "burstbuffer", Startup: 25 * time.Millisecond, PerMB: 500 * time.Microsecond}
+}
+
+// ProfileByName resolves a named storage cost profile; ok is false for
+// unknown names. Backends and experiments select per-tier profiles by
+// these names.
+func ProfileByName(name string) (FS, bool) {
+	switch name {
+	case "nfsv3":
+		return NFSv3(), true
+	case "lustre":
+		return Lustre(), true
+	case "objstore":
+		return ObjStore(), true
+	case "burstbuffer":
+		return BurstBuffer(), true
+	}
+	return FS{}, false
+}
+
+// ProfileNames lists the named profiles ProfileByName resolves.
+func ProfileNames() []string {
+	return []string{"burstbuffer", "lustre", "nfsv3", "objstore"}
+}
+
 // WriteCost returns the modeled time to write an image of n bytes.
 func (f FS) WriteCost(n int64) time.Duration {
 	if n < 0 {

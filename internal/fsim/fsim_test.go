@@ -34,6 +34,42 @@ func TestLustreFasterThanNFS(t *testing.T) {
 	}
 }
 
+func TestProfileRegistry(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != name {
+			t.Fatalf("profile %q resolves to %+v, ok=%v", name, p, ok)
+		}
+		if p.Startup <= 0 || p.PerMB <= 0 {
+			t.Fatalf("profile %q has degenerate costs: %+v", name, p)
+		}
+	}
+	if _, ok := ProfileByName("tape-robot"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+// TestTierProfilesOrdered pins the orderings the tiered-backend
+// experiment relies on: burst-buffer commits beat every durable tier on
+// checkpoint-sized images, and the object store is round-trip-bound but
+// still far cheaper than the NFS model for small images.
+func TestTierProfilesOrdered(t *testing.T) {
+	const img = 32 << 20
+	bb, obj, nfs := BurstBuffer(), ObjStore(), NFSv3()
+	if bb.WriteCost(img) >= obj.WriteCost(img) {
+		t.Fatal("burst buffer not faster than object store")
+	}
+	if obj.WriteCost(img) >= nfs.WriteCost(img) {
+		t.Fatal("object store not faster than the NFS model")
+	}
+	// Small objects are round-trip-dominated: under ~1 MB, halving the
+	// size barely moves the cost.
+	small, smaller := obj.WriteCost(1<<20), obj.WriteCost(1<<19)
+	if small-smaller > obj.Startup/2 {
+		t.Fatalf("object store not latency-bound on small objects: %v vs %v", small, smaller)
+	}
+}
+
 func TestWriteCostMonotoneProperty(t *testing.T) {
 	fs := NFSv3()
 	f := func(a, b uint32) bool {

@@ -196,8 +196,15 @@ func DeltaChainSweep(opts Options) ([]DeltaChainRow, error) {
 
 	var rows []DeltaChainRow
 	for _, chainCap := range []int{0, 1, 2, 4, 8} {
+		// chainCap 0 means "every generation a base": the honored
+		// sentinel expresses it directly in delta mode (a literal zero
+		// would select the default cap).
+		cap := chainCap
+		if cap == 0 {
+			cap = ckptstore.ChainCapNone
+		}
 		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
-			Delta: chainCap > 0, ChainCap: chainCap, ChunkBytes: deltaChunkBytes,
+			Delta: true, ChainCap: cap, ChunkBytes: deltaChunkBytes,
 		})
 		if err != nil {
 			return nil, err
