@@ -56,7 +56,16 @@ bench-drain:
 # StreamMaterialize (chunk-pipelined) run on the same store shape, so
 # their medians compare directly. Backends sweeps the persistence tiers
 # (mem/fs/obj/tier) with their modeled commit-VT and drain-lag metrics.
-BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers|BenchmarkBackends'
+BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers|BenchmarkBackends|BenchmarkKernelScale'
+
+# bench-kernel sweeps the simulation kernels: a fixed-work token ring
+# at 16-1024 ranks. The event-kernel rows should stay near-flat as the
+# rank count grows; the goroutine rows are the 16/64-rank baseline. It
+# is part of BENCH_CKPT, so bench-compare tracks its trajectory too.
+.PHONY: bench-kernel
+bench-kernel:
+	@echo "Running simulation-kernel scale benchmarks (goroutine vs event)..."
+	@$(GO) test -run '^$$' -bench BenchmarkKernelScale -benchtime 3x -benchmem .
 
 .PHONY: bench-ckpt
 bench-ckpt:

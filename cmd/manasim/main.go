@@ -20,6 +20,7 @@ import (
 	ckptsub "manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
 	"manasim/internal/ckptstore"
+	"manasim/internal/cluster"
 	mana "manasim/internal/core"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
@@ -95,10 +96,14 @@ run flags:
   -chunk-kb delta chunk size in KiB (default 256; shrink for proxy-size snapshots)
   -workers checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)
   -site    discovery (default) or perlmutter
+  -kernel  simulation kernel: goroutine (default; one goroutine per rank)
+           or event (virtual-time event queue; deterministic, detects
+           deadlock, scales to thousands of ranks)
 
 experiment flags:
   -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta,
-           backends, or all
+           backends, or all (drain also sweeps ranks 64-1024 under the
+           event kernel)
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
 `)
@@ -149,10 +154,15 @@ func cmdRun(args []string) error {
 	chunkKB := fs.Int("chunk-kb", 0, "delta chunk size in KiB (default ckptimg.AppChunk; shrink to match proxy snapshot sizes)")
 	workers := fs.Int("workers", 0, "checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	siteName := fs.String("site", "discovery", "site profile")
+	kernelName := fs.String("kernel", "", "simulation kernel: goroutine (default) or event")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	tier, err := ckptimg.ParseCompressTier(*tierName)
+	if err != nil {
+		return err
+	}
+	kern, err := cluster.ParseKernel(*kernelName)
 	if err != nil {
 		return err
 	}
@@ -189,6 +199,7 @@ func cmdRun(args []string) error {
 		CompressTier:   tier,
 		DeltaImages:    *delta,
 		Workers:        *workers,
+		Kernel:         kern,
 	}
 	if *legacy {
 		cfg.Design = mana.DesignLegacy
@@ -293,7 +304,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName, StreamRestart: *streamRestart}
+	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName, StreamRestart: *streamRestart, Kernel: kern}
 	rs, err := mana.RestartJobFromStore(rcfg, store, spec.New(in))
 	if err != nil {
 		return err
@@ -379,6 +390,11 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteDrain(os.Stdout, rows)
+			scale, err := harness.DrainScale(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteDrainScale(os.Stdout, scale)
 		case "delta":
 			rows, err := harness.DeltaImages(opts)
 			if err != nil {

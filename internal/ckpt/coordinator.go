@@ -50,6 +50,13 @@ type CtlLink interface {
 	// CtlIprobe polls for a pending control message from src (which may
 	// be AnySource); on success it reports the actual source.
 	CtlIprobe(src, tag int) (ok bool, source int, err error)
+	// CtlWait blocks until a control message from src (which may be
+	// AnySource) with tag is probeable, without receiving it. Drain
+	// strategies that wait for peer announcements use it instead of
+	// spin-polling CtlIprobe: under the event kernel a spinning rank
+	// never yields, and under the goroutine kernel the spin burns a
+	// core.
+	CtlWait(src, tag int) error
 	// CtlRecv receives count int64 values from src under tag.
 	CtlRecv(src, tag, count int) ([]int64, error)
 }

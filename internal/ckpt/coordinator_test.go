@@ -126,6 +126,15 @@ func (l rankLink) CtlIprobe(src, tag int) (bool, int, error) {
 	return true, src, nil
 }
 
+func (l rankLink) CtlWait(src, tag int) error {
+	// The fake is single-goroutine: a wait that would block is a test
+	// deadlock, so it fails instead.
+	if len(l.f.boxes[l.rank][tag]) == 0 {
+		return errors.New("fakeLink: CtlWait would block forever")
+	}
+	return nil
+}
+
 func (l rankLink) CtlRecv(src, tag, count int) ([]int64, error) {
 	q := l.f.boxes[l.rank][tag]
 	if len(q) == 0 {

@@ -2,7 +2,6 @@ package drain
 
 import (
 	"fmt"
-	"runtime"
 
 	"manasim/internal/ckpt"
 	"manasim/internal/mpi"
@@ -86,6 +85,11 @@ func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
 	}
 	outstanding += expect[me]
 
+	// The dependency order over the partial matrix is recomputed only
+	// when a new row arrives: orderOf is O(n²), and recomputing it every
+	// pass made the 1024-rank sweep quadratically slower than the drain
+	// traffic itself.
+	var order []int
 	for have < n || outstanding > 0 {
 		progressed := false
 
@@ -113,12 +117,16 @@ func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
 			outstanding += expect[src] - pulled[src]
 			have++
 			progressed = true
+			order = nil
+		}
+		if order == nil {
+			order = orderOf(matrix)
 		}
 
 		// Drain announced predecessors in dependency order. Their
 		// pre-cut messages were deposited before the announcement, so
 		// every expected message is already probeable.
-		for _, w := range orderOf(matrix) {
+		for _, w := range order {
 			if matrix[w] == nil {
 				continue
 			}
@@ -133,12 +141,26 @@ func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
 		}
 
 		if !progressed {
-			// Waiting on peers that have not reached their cut yet;
-			// yield so their goroutines can run.
-			runtime.Gosched()
+			if have >= n {
+				// Every row is in and the expected messages are
+				// deposit-on-send, so an empty pass is a protocol bug,
+				// not a wait.
+				return fmt.Errorf("drain/toposort: stalled with all counters present and %d messages outstanding", outstanding)
+			}
+			// Waiting on peers that have not reached their cut yet:
+			// block until the next counter announcement instead of
+			// spin-polling. Every missing peer still owes us its row
+			// (announcements precede this loop on every rank), so the
+			// wait always terminates — and under the event kernel a
+			// spinning rank would never yield at all.
+			if err := env.CtlWait(mpi.AnySource, ckpt.TagDrainCounters); err != nil {
+				return err
+			}
 		}
 	}
-	s.order = orderOf(matrix)
+	// The loop exits only with every row absorbed, so the cached order
+	// is the order of the complete matrix.
+	s.order = order
 	return nil
 }
 

@@ -1,6 +1,15 @@
-// Package cluster launches simulated MPI jobs: one goroutine per rank,
-// one lower-half library instance per rank, one shared transport fabric.
-// It is the moral equivalent of srun/mpirun in this repository.
+// Package cluster launches simulated MPI jobs: one lower-half library
+// instance per rank over one shared transport fabric, executed by one of
+// two simulation kernels. It is the moral equivalent of srun/mpirun in
+// this repository.
+//
+// The goroutine kernel (default) runs one OS-scheduled goroutine per
+// rank and lets the Go runtime interleave them — simple, parallel, and
+// the conformance oracle. The event kernel serializes the same rank
+// bodies through internal/kernel's virtual-time event queue, so idle
+// ranks cost nothing and jobs scale to thousands of ranks; it also
+// detects deadlock (every rank blocked with no message in flight)
+// instead of hanging. Small runs must produce identical results on both.
 package cluster
 
 import (
@@ -8,10 +17,49 @@ import (
 	"sync"
 	"time"
 
+	"manasim/internal/kernel"
 	"manasim/internal/mpi"
 	"manasim/internal/simtime"
 	"manasim/internal/transport"
 )
+
+// KernelKind selects the simulation kernel executing a job's ranks.
+type KernelKind int
+
+const (
+	// KernelGoroutine is the default: one OS-scheduled goroutine per
+	// rank, blocking receives park on mailbox condition variables.
+	KernelGoroutine KernelKind = iota
+	// KernelEvent serializes ranks through a central virtual-time event
+	// queue (internal/kernel): deterministic, deadlock-detecting, and
+	// wall-clock scales with event count instead of rank count.
+	KernelEvent
+)
+
+// String names the kernel ("goroutine", "event").
+func (k KernelKind) String() string {
+	switch k {
+	case KernelGoroutine:
+		return "goroutine"
+	case KernelEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("KernelKind(%d)", int(k))
+	}
+}
+
+// ParseKernel resolves a kernel name; the empty string selects the
+// default goroutine kernel.
+func ParseKernel(name string) (KernelKind, error) {
+	switch name {
+	case "", "goroutine":
+		return KernelGoroutine, nil
+	case "event":
+		return KernelEvent, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown kernel %q (have goroutine, event)", name)
+	}
+}
 
 // Factory instantiates one rank's lower-half MPI library. The impls
 // package registers the four simulated implementations as Factories.
@@ -53,14 +101,24 @@ type Job struct {
 	Procs  []mpi.Proc
 
 	n       int
+	kern    *kernel.Kernel // nil under the goroutine kernel
 	errs    []error
 	wg      sync.WaitGroup
 	started time.Time
 }
 
 // New builds a job with n ranks over a fresh fabric, instantiating the
-// lower half with the given implementation factory.
+// lower half with the given implementation factory. The job runs on the
+// default goroutine kernel; NewKernel selects explicitly.
 func New(n int, factory Factory, net simtime.NetModel) *Job {
+	return NewKernel(n, factory, net, KernelGoroutine)
+}
+
+// NewKernel builds a job executed by the given simulation kernel. The
+// event kernel's scheduler is attached to the fabric before any lower
+// half is instantiated, so every blocking point of the job — including
+// context agreement at startup — runs event-driven.
+func NewKernel(n int, factory Factory, net simtime.NetModel, kind KernelKind) *Job {
 	fab := transport.NewFabric(n)
 	j := &Job{
 		Fabric: fab,
@@ -68,6 +126,16 @@ func New(n int, factory Factory, net simtime.NetModel) *Job {
 		Procs:  make([]mpi.Proc, n),
 		n:      n,
 		errs:   make([]error, n),
+	}
+	if kind == KernelEvent {
+		j.kern = kernel.New(n)
+		fab.SetScheduler(j.kern, net.TransferCost)
+		j.kern.OnStall(func() {
+			// Deadlock: every rank parked in a receive with nothing in
+			// flight. Tear the fabric down so the parked ranks fail with
+			// ErrClosed instead of hanging the simulation.
+			fab.Close()
+		})
 	}
 	for r := 0; r < n; r++ {
 		j.Clocks[r] = simtime.NewClock()
@@ -84,25 +152,40 @@ func New(n int, factory Factory, net simtime.NetModel) *Job {
 	return j
 }
 
-// Start launches all rank goroutines.
+// Start launches all rank activities.
 func (j *Job) Start(fn RankFn) {
 	j.started = time.Now()
+	body := func(rank int) {
+		defer func() {
+			if p := recover(); p != nil {
+				j.errs[rank] = fmt.Errorf("panic: %v", p)
+				j.Fabric.Close()
+			}
+		}()
+		j.errs[rank] = fn(rank, j.Procs[rank], j.Clocks[rank])
+		if j.errs[rank] != nil {
+			// A failed rank aborts the job step so peers blocked in
+			// communication do not hang.
+			j.Fabric.Close()
+		}
+	}
+	if j.kern != nil {
+		for r := 0; r < j.n; r++ {
+			j.wg.Add(1)
+			rank := r
+			j.kern.Go(rank, func() {
+				defer j.wg.Done()
+				body(rank)
+			})
+		}
+		j.kern.Start()
+		return
+	}
 	for r := 0; r < j.n; r++ {
 		j.wg.Add(1)
 		go func(rank int) {
 			defer j.wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					j.errs[rank] = fmt.Errorf("panic: %v", p)
-					j.Fabric.Close()
-				}
-			}()
-			j.errs[rank] = fn(rank, j.Procs[rank], j.Clocks[rank])
-			if j.errs[rank] != nil {
-				// A failed rank aborts the job step so peers blocked in
-				// communication do not hang.
-				j.Fabric.Close()
-			}
+			body(rank)
 		}(r)
 	}
 }
@@ -124,7 +207,11 @@ func (j *Job) WaitResult() (Result, error) {
 	var err error
 	for r := 0; r < j.n; r++ {
 		if j.errs[r] != nil {
-			err = &RankError{Rank: r, Err: j.errs[r]}
+			inner := j.errs[r]
+			if j.kern != nil && j.kern.Stalled() {
+				inner = fmt.Errorf("event-kernel deadlock (every rank blocked with no message in flight): %w", inner)
+			}
+			err = &RankError{Rank: r, Err: inner}
 			break
 		}
 	}
@@ -132,9 +219,14 @@ func (j *Job) WaitResult() (Result, error) {
 	return res, err
 }
 
-// Run executes fn on n ranks and waits for completion.
+// Run executes fn on n ranks under the goroutine kernel and waits.
 func Run(n int, factory Factory, net simtime.NetModel, fn RankFn) (Result, error) {
-	j := New(n, factory, net)
+	return RunKernel(n, factory, net, KernelGoroutine, fn)
+}
+
+// RunKernel executes fn on n ranks under the selected kernel and waits.
+func RunKernel(n int, factory Factory, net simtime.NetModel, kind KernelKind, fn RankFn) (Result, error) {
+	j := NewKernel(n, factory, net, kind)
 	j.Start(fn)
 	return j.WaitResult()
 }

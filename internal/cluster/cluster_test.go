@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -94,6 +95,121 @@ func TestFailureClosesFabric(t *testing.T) {
 	case <-done:
 	case <-time.After(5 * time.Second):
 		t.Fatal("job hung after rank failure")
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	cases := []struct {
+		name string
+		want KernelKind
+		err  bool
+	}{
+		{"", KernelGoroutine, false},
+		{"goroutine", KernelGoroutine, false},
+		{"event", KernelEvent, false},
+		{"threads", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKernel(c.name)
+		if (err != nil) != c.err || got != c.want {
+			t.Fatalf("ParseKernel(%q) = %v, %v", c.name, got, err)
+		}
+	}
+	if KernelGoroutine.String() != "goroutine" || KernelEvent.String() != "event" {
+		t.Fatalf("kernel names %q %q", KernelGoroutine, KernelEvent)
+	}
+}
+
+// ringBody returns a RankFn passing one message around the ring through
+// the job's fabric, advancing each rank's clock per hop.
+func ringBody(j *Job, n, rounds int) RankFn {
+	return func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		ep := j.Fabric.Endpoint(rank)
+		next, prev := (rank+1)%n, (rank+n-1)%n
+		for i := 0; i < rounds; i++ {
+			if err := ep.Send(next, 1, i, []byte{byte(rank)}, clock.Now()); err != nil {
+				return err
+			}
+			msg, err := ep.Recv(transport.Match{Context: 1, Src: prev, Tag: i})
+			if err != nil {
+				return err
+			}
+			if msg.Src != prev {
+				return errors.New("ring message from wrong rank")
+			}
+			clock.Advance(time.Millisecond)
+		}
+		return nil
+	}
+}
+
+// TestEventKernelRunsRing runs a multi-round ring on the event kernel
+// and checks it against the goroutine kernel's result.
+func TestEventKernelRunsRing(t *testing.T) {
+	const n, rounds = 8, 20
+	net := simtime.NetModel{Latency: 10 * time.Microsecond, PerKB: time.Microsecond}
+	run := func(kind KernelKind) Result {
+		j := NewKernel(n, fakeFactory, net, kind)
+		j.Start(ringBody(j, n, rounds))
+		res, err := j.WaitResult()
+		if err != nil {
+			t.Fatalf("%v kernel: %v", kind, err)
+		}
+		return res
+	}
+	ev, gr := run(KernelEvent), run(KernelGoroutine)
+	if ev.VT != gr.VT {
+		t.Fatalf("kernel VT mismatch: event %v, goroutine %v", ev.VT, gr.VT)
+	}
+	for r := range ev.PerRankVT {
+		if ev.PerRankVT[r] != gr.PerRankVT[r] {
+			t.Fatalf("rank %d VT: event %v, goroutine %v", r, ev.PerRankVT[r], gr.PerRankVT[r])
+		}
+	}
+}
+
+// TestEventKernelDetectsDeadlock: every rank blocks on a message nobody
+// sends. The goroutine kernel would hang; the event kernel must detect
+// the stall, tear the fabric down, and report a wrapped ErrClosed.
+func TestEventKernelDetectsDeadlock(t *testing.T) {
+	j := NewKernel(2, fakeFactory, simtime.NetModel{}, KernelEvent)
+	j.Start(func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		_, err := j.Fabric.Endpoint(rank).Recv(transport.Match{Context: 1, Src: transport.AnySource, Tag: 0})
+		return err
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := j.WaitResult()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("deadlock error %v, want ErrClosed", err)
+		}
+		if !strings.Contains(err.Error(), "deadlock") {
+			t.Fatalf("error does not name the deadlock: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("event kernel did not detect the deadlock")
+	}
+}
+
+// TestEventKernelScales1024 is the scale smoke: a 1024-rank ring round
+// completes quickly because idle ranks cost no scheduler time.
+func TestEventKernelScales1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke")
+	}
+	const n = 1024
+	j := NewKernel(n, fakeFactory, simtime.NetModel{Latency: time.Microsecond}, KernelEvent)
+	j.Start(ringBody(j, n, 2))
+	res, err := j.WaitResult()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VT == 0 {
+		t.Fatal("ring advanced no virtual time")
 	}
 }
 

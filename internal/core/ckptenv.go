@@ -44,14 +44,32 @@ func (l ctlLink) CtlIprobe(src, tag int) (bool, int, error) {
 	return true, st.Source, nil
 }
 
-// CtlRecv implements ckpt.CtlLink.
+// CtlWait implements ckpt.CtlLink: a blocking MPI_Probe on the internal
+// communicator. Under the event kernel the rank parks until the
+// announcement arrives; under the goroutine kernel it waits on the
+// mailbox instead of spinning.
+func (l ctlLink) CtlWait(src, tag int) error {
+	r := l.r
+	r.bnd.Enter()
+	_, err := r.lower.Probe(src, tag, r.manaComm)
+	r.bnd.Leave()
+	return err
+}
+
+// CtlRecv implements ckpt.CtlLink. The receive staging buffer is reused
+// across calls (control traffic is serial per rank): at a 1024-rank
+// drain each rank receives a thousand 8 KiB counter rows, and a fresh
+// buffer per row made allocation and GC the dominant simulation cost.
 func (l ctlLink) CtlRecv(src, tag, count int) ([]int64, error) {
 	r := l.r
 	i64, err := r.lower.LookupConst(mpi.ConstInt64)
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 8*count)
+	if cap(r.ctlBuf) < 8*count {
+		r.ctlBuf = make([]byte, 8*count)
+	}
+	buf := r.ctlBuf[:8*count]
 	r.bnd.Enter()
 	_, err = r.lower.Recv(buf, count, i64, src, tag, r.manaComm)
 	r.bnd.Leave()

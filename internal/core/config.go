@@ -25,6 +25,7 @@ package mana
 
 import (
 	"fmt"
+	"time"
 
 	"manasim/internal/ckpt"
 	"manasim/internal/ckptimg"
@@ -109,6 +110,24 @@ type Config struct {
 	// DeltaImages enables incremental checkpoint images when Store is
 	// nil (ckptstore.Options.Delta on the implicit store).
 	DeltaImages bool
+	// FixedXlatCost, when positive, replaces the measured virtual-id
+	// translation time each wrapper charges to the rank clock with this
+	// fixed modeled cost. The default (zero, measured) is what lets the
+	// single-table vs legacy-map difference emerge from real data
+	// structure cost (Figure 2), but measured time is nanosecond-noisy
+	// and run-to-run variation leaks into every downstream virtual
+	// timestamp. Fixing it makes a run bit-reproducible — required for
+	// byte-identical cross-kernel Stats comparisons.
+	FixedXlatCost time.Duration
+	// Kernel selects the simulation kernel executing the job's ranks:
+	// cluster.KernelGoroutine (default) runs one OS-scheduled goroutine
+	// per rank; cluster.KernelEvent serializes the same rank bodies
+	// through a central virtual-time event queue, which is deterministic,
+	// detects communication deadlock, and keeps simulation wall-clock
+	// proportional to event count instead of rank count — the kernel the
+	// 1024-rank drain sweeps run on. core, harness, and the
+	// checkpoint/drain paths run unchanged on either kernel.
+	Kernel cluster.KernelKind
 	// StreamRestart selects the chunk-pipelined restart path:
 	// RestartFromStore resolves each rank's base+delta chain with
 	// newest-wins chunk ownership (ckptstore.MaterializeStream), so

@@ -77,7 +77,7 @@ func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
 		checksums: make([]uint64, n),
 		stopped:   make([]bool, n),
 	}
-	s.job = cluster.New(n, cfg.Factory, cfg.Host.Net)
+	s.job = cluster.NewKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel)
 	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
 		rt, err := NewRuntime(cfg, proc, clock, s.Co)
 		if err != nil {
@@ -143,7 +143,7 @@ func restartJobImages(cfg Config, imgs []*ckptimg.Image, chains []ckptstore.Chai
 		stopped:   make([]bool, n),
 		chains:    chains,
 	}
-	s.job = cluster.New(n, cfg.Factory, cfg.Host.Net)
+	s.job = cluster.NewKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel)
 	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
 		img := byRank[rank]
 		var chain *ckptstore.ChainStats
@@ -335,7 +335,7 @@ func RunNative(cfg Config, n int, factory app.Factory) (Stats, error) {
 		return Stats{}, err
 	}
 	checksums := make([]uint64, n)
-	res, err := cluster.Run(n, cfg.Factory, cfg.Host.Net, func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
+	res, err := cluster.RunKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel, func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
 		inst := factory()
 		env := &app.Env{P: proc, Clock: clock, Rank: rank, Size: n}
 		if err := inst.Setup(env); err != nil {

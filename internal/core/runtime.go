@@ -65,6 +65,9 @@ type Runtime struct {
 	// internal communicator (Stats.CtlMsgs), tallied by the DrainEnv
 	// adapter.
 	ctlMsgs uint64
+	// ctlBuf is the reusable staging buffer of CtlRecv (control traffic
+	// is serial within a rank, so one buffer suffices).
+	ctlBuf []byte
 
 	co      *Coordinator
 	stepNow int

@@ -13,7 +13,17 @@ import (
 // the runtime difference between the new single-table design and the
 // legacy string-keyed-map design (Figure 2's "up to 1.6%" improvement,
 // Section 6.1) emerges from the actual cost of the two data structures.
+//
+// Measured time is inherently noisy at the nanosecond scale, and the
+// noise propagates: send timestamps carry it to receivers, so no two
+// runs produce bit-identical virtual times. Config.FixedXlatCost trades
+// the measured signal for reproducibility — the cross-kernel
+// conformance suite depends on it to compare Stats byte-for-byte.
 func (r *Runtime) xlatDone(t0 time.Time) {
+	if r.cfg.FixedXlatCost > 0 {
+		r.clock.Advance(r.cfg.FixedXlatCost)
+		return
+	}
 	r.clock.Advance(time.Since(t0))
 }
 

@@ -44,7 +44,7 @@ func GetFloat64s(b []byte, v []float64) {
 func Int64Bytes(v []int64) []byte {
 	b := make([]byte, 8*len(v))
 	for i, x := range v {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+		binary.LittleEndian.PutUint64(b[8*i:8*i+8], uint64(x))
 	}
 	return b
 }
@@ -53,7 +53,7 @@ func Int64Bytes(v []int64) []byte {
 func Int64s(b []byte) []int64 {
 	v := make([]int64, len(b)/8)
 	for i := range v {
-		v[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+		v[i] = int64(binary.LittleEndian.Uint64(b[8*i : 8*i+8]))
 	}
 	return v
 }

@@ -20,6 +20,25 @@
 // The transport moves real bytes. Latency and bandwidth are accounted in
 // virtual time by the MPI engine above, using the sender timestamp each
 // Message carries.
+//
+// Matching is indexed: each mailbox keeps one FIFO per (source, context,
+// tag) triple plus an arrival-ordered list per context, sharing entries.
+// A fully specified receive is a map lookup; a wildcard receive walks
+// its context's arrival list front-to-back and takes the first live
+// match — exactly the message the old single-queue linear scan found,
+// but without visiting other contexts, and an AnySource probe against a
+// mailbox holding thousands of per-source triples stops at the first
+// match instead of ranking every triple.
+//
+// # Blocking and the simulation kernels
+//
+// Under the default goroutine kernel a blocked receiver waits on the
+// mailbox's condition variable and delivery broadcasts. When a Scheduler
+// is attached (SetScheduler, done by the cluster for the event kernel),
+// a blocked receiver parks its rank activity instead, and delivery posts
+// a wakeup event at the message's arrival virtual time. A mailbox has at
+// most one waiter — only the owner rank receives from it — so wakeups
+// are point-to-point and deterministic.
 package transport
 
 import (
@@ -79,6 +98,18 @@ func (m Match) Matches(msg *Message) bool {
 	return true
 }
 
+// Scheduler is the event-kernel hook: when attached to a fabric, blocked
+// receivers park their rank activity and message delivery wakes the
+// destination rank at the message's arrival virtual time, instead of the
+// cond-var broadcast the goroutine kernel uses. internal/kernel
+// implements it; internal/cluster wires it up.
+type Scheduler interface {
+	// Park blocks the calling rank activity until a Wake.
+	Park(rank int)
+	// Wake schedules rank to resume at virtual time at.
+	Wake(rank int, at time.Duration)
+}
+
 // Fabric is one interconnect instance serving one simulated job. All
 // ranks of the job share the fabric; a restart builds a brand-new one.
 type Fabric struct {
@@ -105,9 +136,21 @@ func NewFabric(n int) *Fabric {
 	}
 	f.nextCtx.Store(16) // contexts 0..15 reserved for predefined comms
 	for i := range f.boxes {
-		f.boxes[i] = newMailbox()
+		f.boxes[i] = newMailbox(i)
 	}
 	return f
+}
+
+// SetScheduler attaches an event-kernel scheduler: blocked receives park
+// their rank through s, and deliveries wake the destination rank at
+// SendVT + cost(len(payload)). Must be called before any endpoint
+// operation; the cluster attaches it right after NewFabric when the job
+// selects the event kernel.
+func (f *Fabric) SetScheduler(s Scheduler, cost func(bytes int) time.Duration) {
+	for _, b := range f.boxes {
+		b.sched = s
+		b.cost = cost
+	}
 }
 
 // Size returns the number of ranks served by the fabric.
@@ -253,18 +296,116 @@ func (e *Endpoint) Pending() int { return e.fabric.boxes[e.rank].len() }
 // errNoMatch is an internal sentinel for non-blocking take.
 var errNoMatch = errors.New("transport: no matching message")
 
-// mailbox is an MPI-ordered message queue. Messages are kept in arrival
-// order; matching scans from the front so that non-overtaking semantics
-// hold per (source, context, tag).
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []*Message
-	closed bool
+// srcTag is the per-context index key of one matching FIFO.
+type srcTag struct {
+	src int
+	tag int
 }
 
-func newMailbox() *mailbox {
-	b := &mailbox{}
+// qent is one queued message. The same entry is linked from two indexes
+// — its (source, tag) FIFO and its context's arrival list — so consuming
+// it through either marks it taken and the other index skips it lazily.
+type qent struct {
+	m     *Message
+	taken bool
+}
+
+// msgq is one (source, context, tag) FIFO. head indexes the front; the
+// backing slice is compacted once the consumed prefix dominates it.
+type msgq struct {
+	q    []*qent
+	head int
+}
+
+func (q *msgq) push(e *qent) { q.q = append(q.q, e) }
+
+// prune drops the consumed prefix (entries taken through the arrival
+// list) and compacts; it returns false when the queue is empty.
+func (q *msgq) prune() bool {
+	for q.head < len(q.q) && q.q[q.head].taken {
+		q.q[q.head] = nil
+		q.head++
+	}
+	if q.head == len(q.q) {
+		return false
+	}
+	if q.head > 32 && q.head*2 >= len(q.q) {
+		q.q = append(q.q[:0], q.q[q.head:]...)
+		q.head = 0
+	}
+	return true
+}
+
+// front returns the earliest live entry, or nil.
+func (q *msgq) front() *qent {
+	if !q.prune() {
+		return nil
+	}
+	return q.q[q.head]
+}
+
+// ctxq holds one context's messages under both indexes: triples for
+// exact-match lookups, fifo for arrival-ordered wildcard scans.
+type ctxq struct {
+	triples map[srcTag]*msgq
+	fifo    []*qent
+	head    int
+	live    int // untaken entries
+	dead    int // taken entries still in fifo past head
+}
+
+// pruneFifo drops the consumed prefix of the arrival list and rebuilds
+// the list once interior consumed entries (taken through an exact-match
+// receive) dominate it, so wildcard scans stay amortized-linear in live
+// messages.
+func (c *ctxq) pruneFifo() {
+	for c.head < len(c.fifo) && c.fifo[c.head].taken {
+		c.fifo[c.head] = nil
+		c.head++
+		if c.dead > 0 {
+			c.dead--
+		}
+	}
+	if c.dead > 32 && c.dead*2 >= len(c.fifo)-c.head {
+		kept := make([]*qent, 0, c.live)
+		for _, e := range c.fifo[c.head:] {
+			if !e.taken {
+				kept = append(kept, e)
+			}
+		}
+		c.fifo, c.head, c.dead = kept, 0, 0
+	} else if c.head > 32 && c.head*2 >= len(c.fifo) {
+		c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
+		c.head = 0
+	}
+}
+
+// mailbox is an MPI-ordered message store indexed per (source, context,
+// tag) triple. Each triple's FIFO preserves non-overtaking order; a
+// wildcard receive walks its context's arrival list front-to-back and
+// takes the first live match — the same message the single-queue linear
+// scan used to return, found without visiting other contexts or, for
+// exact matches, any scan at all.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	rank int
+
+	byCtx  map[uint32]*ctxq
+	count  int
+	closed bool
+
+	// Event-kernel hooks (nil under the goroutine kernel). waiting
+	// records the owner rank's parked receive; there is at most one
+	// waiter per mailbox because only the owner receives from it.
+	sched   Scheduler
+	cost    func(bytes int) time.Duration
+	waiting bool
+	wmatch  Match
+}
+
+func newMailbox(rank int) *mailbox {
+	b := &mailbox{rank: rank, byCtx: make(map[uint32]*ctxq)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -275,7 +416,29 @@ func (b *mailbox) put(m *Message) error {
 	if b.closed {
 		return ErrClosed
 	}
-	b.queue = append(b.queue, m)
+	c := b.byCtx[m.Context]
+	if c == nil {
+		c = &ctxq{triples: make(map[srcTag]*msgq)}
+		b.byCtx[m.Context] = c
+	}
+	k := srcTag{src: m.Src, tag: m.Tag}
+	q := c.triples[k]
+	if q == nil {
+		q = &msgq{}
+		c.triples[k] = q
+	}
+	e := &qent{m: m}
+	q.push(e)
+	c.fifo = append(c.fifo, e)
+	c.live++
+	b.count++
+	if b.sched != nil {
+		if b.waiting && b.wmatch.Matches(m) {
+			b.waiting = false
+			b.sched.Wake(b.rank, m.SendVT+b.cost(len(m.Payload)))
+		}
+		return nil
+	}
 	b.cond.Broadcast()
 	return nil
 }
@@ -283,7 +446,53 @@ func (b *mailbox) put(m *Message) error {
 func (b *mailbox) len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.queue)
+	return b.count
+}
+
+// findLocked returns the entry m selects, or nil. An exact match is an
+// index lookup; a match with a wildcard walks the context's arrival list
+// front-to-back and returns the first live match, which is the earliest
+// arrival among all matching triples.
+func (b *mailbox) findLocked(m Match) *qent {
+	c := b.byCtx[m.Context]
+	if c == nil {
+		return nil
+	}
+	if m.Src != AnySource && m.Tag != AnyTag {
+		q := c.triples[srcTag{src: m.Src, tag: m.Tag}]
+		if q == nil {
+			return nil
+		}
+		return q.front()
+	}
+	c.pruneFifo()
+	for i := c.head; i < len(c.fifo); i++ {
+		e := c.fifo[i]
+		if e.taken || !m.Matches(e.m) {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// removeLocked consumes e and drops emptied index entries.
+func (b *mailbox) removeLocked(e *qent) *Message {
+	msg := e.m
+	e.taken = true
+	b.count--
+	c := b.byCtx[msg.Context]
+	c.live--
+	c.dead++
+	c.pruneFifo()
+	k := srcTag{src: msg.Src, tag: msg.Tag}
+	if q := c.triples[k]; q != nil && !q.prune() {
+		delete(c.triples, k)
+	}
+	if c.live == 0 {
+		delete(b.byCtx, msg.Context)
+	}
+	return msg
 }
 
 // take removes the first matching message. If block is true it waits for
@@ -295,23 +504,21 @@ func (b *mailbox) take(m Match, block bool) (*Message, error) {
 		if b.closed {
 			return nil, ErrClosed
 		}
-		if i := b.findLocked(m); i >= 0 {
-			msg := b.queue[i]
-			b.queue = append(b.queue[:i], b.queue[i+1:]...)
-			return msg, nil
+		if e := b.findLocked(m); e != nil {
+			return b.removeLocked(e), nil
 		}
 		if !block {
 			return nil, errNoMatch
 		}
-		b.cond.Wait()
+		b.waitLocked(m)
 	}
 }
 
 func (b *mailbox) peek(m Match) (*Message, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if i := b.findLocked(m); i >= 0 {
-		return b.queue[i], true
+	if e := b.findLocked(m); e != nil {
+		return e.m, true
 	}
 	return nil, false
 }
@@ -323,25 +530,35 @@ func (b *mailbox) waitMatch(m Match) error {
 		if b.closed {
 			return ErrClosed
 		}
-		if b.findLocked(m) >= 0 {
+		if b.findLocked(m) != nil {
 			return nil
 		}
-		b.cond.Wait()
+		b.waitLocked(m)
 	}
 }
 
-func (b *mailbox) findLocked(m Match) int {
-	for i, msg := range b.queue {
-		if m.Matches(msg) {
-			return i
-		}
+// waitLocked blocks the owner rank until a delivery (or close) wakes it:
+// a cond wait under the goroutine kernel, a scheduler park under the
+// event kernel. Called with b.mu held; reacquires it before returning.
+func (b *mailbox) waitLocked(m Match) {
+	if b.sched == nil {
+		b.cond.Wait()
+		return
 	}
-	return -1
+	b.waiting = true
+	b.wmatch = m
+	b.mu.Unlock()
+	b.sched.Park(b.rank)
+	b.mu.Lock()
 }
 
 func (b *mailbox) close() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.closed = true
+	if b.sched != nil && b.waiting {
+		b.waiting = false
+		b.sched.Wake(b.rank, 0)
+	}
 	b.cond.Broadcast()
 }

@@ -110,6 +110,113 @@ func TestFIFOPerSourceTag(t *testing.T) {
 	}
 }
 
+// TestWildcardTakesEarliestArrival pins the matching-order contract the
+// indexed mailbox must preserve from the old linear scan: a wildcard
+// receive returns the earliest-deposited matching message across ALL
+// (source, tag) triples, not merely FIFO within one triple. Deposits are
+// interleaved across three senders and two tags so a per-triple-only
+// implementation would reorder them.
+func TestWildcardTakesEarliestArrival(t *testing.T) {
+	f := NewFabric(4)
+	defer f.Close()
+	dst := f.Endpoint(3)
+
+	// Global deposit order, interleaved across (src, tag) triples.
+	deposits := []struct {
+		src, tag int
+		val      byte
+	}{
+		{0, 5, 0}, {1, 5, 1}, {0, 9, 2}, {2, 5, 3}, {1, 9, 4}, {0, 5, 5}, {2, 9, 6},
+	}
+	for _, d := range deposits {
+		if err := f.Endpoint(d.src).Send(3, 1, d.tag, []byte{d.val}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Fully wildcarded receives drain in exact deposit order.
+	for i, d := range deposits {
+		msg, err := dst.Recv(Match{Context: 1, Src: AnySource, Tag: AnyTag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != d.val || msg.Src != d.src || msg.Tag != d.tag {
+			t.Fatalf("wildcard position %d: got src=%d tag=%d val=%d, want %+v",
+				i, msg.Src, msg.Tag, msg.Payload[0], d)
+		}
+	}
+}
+
+// TestHalfWildcardOrdering pins arrival order under partially specified
+// matches: AnyTag with a fixed source drains that source's triples in
+// deposit order, and AnySource with a fixed tag drains that tag's
+// triples in deposit order.
+func TestHalfWildcardOrdering(t *testing.T) {
+	f := NewFabric(3)
+	defer f.Close()
+	dst := f.Endpoint(2)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// src 0 alternates tags; src 1 interleaves.
+	must(f.Endpoint(0).Send(2, 1, 7, []byte{10}, 0))
+	must(f.Endpoint(1).Send(2, 1, 7, []byte{20}, 0))
+	must(f.Endpoint(0).Send(2, 1, 8, []byte{11}, 0))
+	must(f.Endpoint(1).Send(2, 1, 8, []byte{21}, 0))
+	must(f.Endpoint(0).Send(2, 1, 7, []byte{12}, 0))
+
+	// Fixed source 0, any tag: 10, 11, 12 (deposit order across tags).
+	for _, want := range []byte{10, 11, 12} {
+		msg, err := dst.Recv(Match{Context: 1, Src: 0, Tag: AnyTag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Payload[0] != want {
+			t.Fatalf("src-fixed: got %d want %d", msg.Payload[0], want)
+		}
+	}
+	// Fixed tag 7, any source: only src 1's 20 is left under tag 7.
+	msg, err := dst.Recv(Match{Context: 1, Src: AnySource, Tag: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Payload[0] != 20 || msg.Src != 1 {
+		t.Fatalf("tag-fixed: got src=%d val=%d", msg.Src, msg.Payload[0])
+	}
+}
+
+// TestIndexedQueueCompaction exercises the msgq head-compaction path
+// with enough traffic through one triple to trigger it repeatedly.
+func TestIndexedQueueCompaction(t *testing.T) {
+	f := NewFabric(2)
+	defer f.Close()
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	const total = 500
+	for i := 0; i < total; i++ {
+		if err := a.Send(1, 1, 4, []byte{byte(i)}, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Drain every other message so head and tail chase each other.
+		if i%2 == 1 {
+			for j := 0; j < 2; j++ {
+				msg, err := b.Recv(Match{Context: 1, Src: 0, Tag: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if msg.Payload[0] != byte(i-1+j) {
+					t.Fatalf("compaction reordered: got %d want %d", msg.Payload[0], byte(i-1+j))
+				}
+			}
+		}
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("pending %d after drain", b.Pending())
+	}
+}
+
 func TestProbeDoesNotConsume(t *testing.T) {
 	f := NewFabric(1)
 	defer f.Close()
