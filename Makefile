@@ -56,7 +56,7 @@ bench-drain:
 # StreamMaterialize (chunk-pipelined) run on the same store shape, so
 # their medians compare directly. Backends sweeps the persistence tiers
 # (mem/fs/obj/tier) with their modeled commit-VT and drain-lag metrics.
-BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers|BenchmarkBackends|BenchmarkKernelScale'
+BENCH_CKPT := 'BenchmarkParallelCommit|BenchmarkParallelMaterialize|BenchmarkDeltaEncode|BenchmarkChainMaterialize|BenchmarkStreamMaterialize|BenchmarkCompressTiers|BenchmarkDedupCommit|BenchmarkBackends|BenchmarkKernelScale'
 
 # bench-kernel sweeps the simulation kernels: a fixed-work token ring
 # at 16-1024 ranks. The event-kernel rows should stay near-flat as the
@@ -70,6 +70,15 @@ bench-kernel:
 .PHONY: bench-ckpt
 bench-ckpt:
 	@$(GO) test -run '^$$' -bench $(BENCH_CKPT) -benchtime 3x -benchmem .
+
+# bench-dedup isolates the content-addressed store: the dedup-vs-plain
+# commit on the rank-identical 8 x 4 MB shape (stored-KB and ratio
+# metrics) plus the codec sweep whose fast-lz row it pairs with. Both
+# are part of BENCH_CKPT, so bench-compare tracks their medians.
+.PHONY: bench-dedup
+bench-dedup:
+	@echo "Running dedup + compression-codec benchmarks..."
+	@$(GO) test -run '^$$' -bench 'BenchmarkDedupCommit|BenchmarkCompressTiers' -benchtime 3x -benchmem .
 
 # bench-store isolates the storage-backend sweep: per-backend commit
 # cost plus the modeled commit-VT / drain-lag metrics of the tiered
@@ -96,9 +105,11 @@ bench-compare:
 
 # race-ckpt covers the parallel commit/materialize pool, the streaming
 # restart pipeline (ckptstore stream_test.go exercises the per-rank
-# link-lookahead reads across pool widths), and the tier backend's
-# async drainer (tier_test.go interleaves Puts, read-through Gets,
-# Deletes, and drain barriers across goroutines).
+# link-lookahead reads across pool widths), the tier backend's async
+# drainer (tier_test.go interleaves Puts, read-through Gets, Deletes,
+# and drain barriers across goroutines), and the dedup store's shared
+# blob table (dedup_test.go commits generations while concurrent
+# readers resolve recipes and retention prunes shared blobs).
 .PHONY: race-ckpt
 race-ckpt:
 	@echo "Running the checkpoint subsystem under the race detector..."

@@ -86,9 +86,15 @@ run flags:
   -back-tier     with -backend tier: durable back-tier backend the async
                  drainer flushes to (default fs with -ckpt-dir, else obj)
   -ckpt-dir directory of directory-backed store backends (implies -backend fs)
+  -front-cap     with -backend tier: front-tier capacity in KiB (0 =
+                 unbounded); past it, blobs already flushed to the back
+                 tier are LRU-evicted and re-promoted on demand
   -retain-bases  prune superseded chains, keeping this many recent base
                  generations (0 = keep every generation's blobs)
   -delta   write incremental (delta) checkpoint generations
+  -dedup   content-addressed store: identical image segments are stored
+           once across ranks and generations, and each rank's write is
+           charged only the new unique bytes it introduced
   -stream-restart  with -restart-impl, restart through the chunk-pipelined
                  streaming path: each rank's base+delta chain resolves a
                  newest-wins owner per chunk and only winning chunks are
@@ -102,8 +108,9 @@ run flags:
 
 experiment flags:
   -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta,
-           backends, or all (drain also sweeps ranks 64-1024 under the
-           event kernel)
+           backends, dedup, or all (drain also sweeps ranks 64-1024
+           under the event kernel; dedup sweeps rank counts x apps x
+           codecs over plain and content-addressed stores)
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
 `)
@@ -150,6 +157,8 @@ func cmdRun(args []string) error {
 	ckptDir := fs.String("ckpt-dir", "", "directory of directory-backed store backends")
 	retainBases := fs.Int("retain-bases", 0, "prune superseded chains, keeping this many recent base generations (0 = keep all)")
 	delta := fs.Bool("delta", false, "write incremental checkpoint generations")
+	dedup := fs.Bool("dedup", false, "content-addressed store: share identical image segments across ranks and generations")
+	frontCap := fs.Int("front-cap", 0, "tier backend: front-tier capacity in KiB (0 = unbounded; LRU-evicts flushed blobs past it)")
 	streamRestart := fs.Bool("stream-restart", false, "restart through the chunk-pipelined streaming path (newest-wins chain resolution; superseded chunks are never decompressed)")
 	chunkKB := fs.Int("chunk-kb", 0, "delta chunk size in KiB (default ckptimg.AppChunk; shrink to match proxy snapshot sizes)")
 	workers := fs.Int("workers", 0, "checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)")
@@ -207,23 +216,25 @@ func cmdRun(args []string) error {
 	if *backendName == "" {
 		*backendName = *storeName
 	}
-	// -front-tier / -back-tier only make sense composing the tier
-	// backend; asking for them implies it.
-	if *backendName == "" && (*frontTier != "" || *backTier != "") {
+	// -front-tier / -back-tier / -front-cap only make sense composing
+	// the tier backend; asking for them implies it.
+	if *backendName == "" && (*frontTier != "" || *backTier != "" || *frontCap > 0) {
 		*backendName = "tier"
 	}
 	if *ckptDir != "" && *backendName == "" {
 		*backendName = "fs"
 	}
-	// -delta, -chunk-kb and -retain-bases need an explicit store even
-	// without -backend: the implicit in-core store has no such knobs.
-	if *backendName != "" || *delta || *chunkKB > 0 || *retainBases > 0 {
+	// -delta, -dedup, -chunk-kb and -retain-bases need an explicit store
+	// even without -backend: the implicit in-core store has no such knobs.
+	if *backendName != "" || *delta || *dedup || *chunkKB > 0 || *retainBases > 0 {
 		st, err := ckptstore.Open(in.Ranks, ckptstore.Options{
 			Backend:      *backendName,
 			Dir:          *ckptDir,
 			FrontTier:    *frontTier,
 			BackTier:     *backTier,
+			FrontCap:     int64(*frontCap) << 10,
 			Delta:        *delta,
+			Dedup:        *dedup,
 			Compress:     *compress,
 			CompressTier: tier,
 			ChunkBytes:   *chunkKB << 10,
@@ -295,6 +306,11 @@ func cmdRun(args []string) error {
 		}
 		fmt.Printf("store[%s]: generation %d at step %d: %s, %d KB stored\n",
 			store.BackendName(), g.Seq, g.Step, kind, g.Bytes/1024)
+	}
+	if store.Dedup() {
+		ds := store.DedupStats()
+		fmt.Printf("dedup: %d blobs, %d KB stored for %d KB logical (ratio %.2f, %d shared refs)\n",
+			ds.Blobs, ds.StoredBytes/1024, ds.LogicalBytes/1024, ds.Ratio(), ds.SharedRefs)
 	}
 
 	if *restartImpl == "" {
@@ -412,13 +428,19 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteBackends(os.Stdout, rows)
+		case "dedup":
+			rows, err := harness.DedupSweep(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteDedup(os.Stdout, rows)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
 		return nil
 	}
 	if *name == "all" {
-		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends"} {
+		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends", "dedup"} {
 			if err := run(n); err != nil {
 				return err
 			}

@@ -71,8 +71,14 @@ const FlagDelta uint32 = 1 << 1
 // inflating them.
 const FlagFastCompress uint32 = 1 << 2
 
+// FlagLZ marks an image whose application-state section is compressed
+// with the fast-lz codec (lz.go, Options.Tier = TierFastLZ) instead of
+// gzip. Like FlagGzip it applies per changed chunk on a delta image.
+// FlagGzip and FlagLZ are mutually exclusive.
+const FlagLZ uint32 = 1 << 3
+
 // knownFlags masks the header bits this build understands.
-const knownFlags = FlagGzip | FlagDelta | FlagFastCompress
+const knownFlags = FlagGzip | FlagDelta | FlagFastCompress | FlagLZ
 
 // AppChunk is the maximum payload of one application-state section:
 // large snapshots are split so each chunk is framed and checksummed
@@ -199,11 +205,22 @@ func (o Options) headerFlags() uint32 {
 	if !o.Compress {
 		return 0
 	}
+	if o.Tier == TierFastLZ {
+		return FlagLZ
+	}
 	flags := FlagGzip
 	if o.Tier == TierFast {
 		flags |= FlagFastCompress
 	}
 	return flags
+}
+
+// checkCompressFlags rejects contradictory compression bits.
+func checkCompressFlags(flags uint32) error {
+	if flags&FlagGzip != 0 && flags&FlagLZ != 0 {
+		return fmt.Errorf("ckptimg: image claims both gzip and fast-lz compression (%w)", ErrCorrupt)
+	}
+	return nil
 }
 
 // Encode serializes the image in the current format with default
@@ -265,19 +282,26 @@ func EncodeTo(w io.Writer, img *Image, o Options) error {
 
 	app := img.AppState
 	if o.Compress {
-		z := getBuf()
-		defer putBuf(z)
-		zw := getGzipWriter(z, o.Tier)
-		_, werr := zw.Write(app)
-		cerr := zw.Close()
-		putGzipWriter(o.Tier, zw)
-		if werr == nil {
-			werr = cerr
+		if o.Tier == TierFastLZ {
+			zp := getLZBuf()
+			defer putLZBuf(zp)
+			*zp = lzFrameCompress((*zp)[:0], app)
+			app = *zp
+		} else {
+			z := getBuf()
+			defer putBuf(z)
+			zw := getGzipWriter(z, o.Tier)
+			_, werr := zw.Write(app)
+			cerr := zw.Close()
+			putGzipWriter(o.Tier, zw)
+			if werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("ckptimg: compressing app state: %w", werr)
+			}
+			app = z.Bytes()
 		}
-		if werr != nil {
-			return fmt.Errorf("ckptimg: compressing app state: %w", werr)
-		}
-		app = z.Bytes()
 	}
 	// Chunk the application state so each frame is bounded and
 	// independently checksummed.
@@ -484,6 +508,9 @@ func Decode(data []byte) (*Image, error) {
 	if flags&^knownFlags != 0 {
 		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
 	}
+	if err := checkCompressFlags(flags); err != nil {
+		return nil, err
+	}
 	if flags&FlagDelta != 0 {
 		return nil, ErrDeltaImage
 	}
@@ -536,7 +563,7 @@ func Decode(data []byte) (*Image, error) {
 // payloads: one exact-size allocation for raw chunks, or one inflate
 // pass for compressed state. The result never aliases the chunks.
 func assembleAppState(chunks [][]byte, total int, flags uint32) ([]byte, error) {
-	if flags&FlagGzip == 0 {
+	if flags&(FlagGzip|FlagLZ) == 0 {
 		if total == 0 {
 			return nil, nil
 		}
@@ -546,7 +573,8 @@ func assembleAppState(chunks [][]byte, total int, flags uint32) ([]byte, error) 
 		}
 		return app, nil
 	}
-	// Compressed: the concatenated chunks form one gzip stream.
+	// Compressed: the concatenated chunks form one gzip stream or one
+	// fast-lz frame.
 	var stream []byte
 	if len(chunks) == 1 {
 		stream = chunks[0]
@@ -559,7 +587,13 @@ func assembleAppState(chunks [][]byte, total int, flags uint32) ([]byte, error) 
 		}
 		stream = scratch.Bytes()
 	}
-	app, err := gunzip(stream)
+	var app []byte
+	var err error
+	if flags&FlagLZ != 0 {
+		app, err = lzFrameDecompress(stream)
+	} else {
+		app, err = gunzip(stream)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
 	}

@@ -192,8 +192,13 @@ func EncodeDelta(img *Image, parent ChunkIndex, parentGen int, o Options) ([]byt
 	}
 
 	// One pooled scratch buffer serves every compressed chunk.
+	lz := o.Compress && o.Tier == TierFastLZ
 	var z *bytes.Buffer
-	if o.Compress {
+	var zp *[]byte
+	if lz {
+		zp = getLZBuf()
+		defer putLZBuf(zp)
+	} else if o.Compress {
 		z = getBuf()
 		defer putBuf(z)
 	}
@@ -216,7 +221,10 @@ func EncodeDelta(img *Image, parent ChunkIndex, parentGen int, o Options) ([]byt
 		}
 		rec[4] = 1
 		data := chunk
-		if o.Compress {
+		if lz {
+			*zp = lzFrameCompress((*zp)[:0], chunk)
+			data = *zp
+		} else if o.Compress {
 			z.Reset()
 			zw := getGzipWriter(z, o.Tier)
 			_, werr := zw.Write(chunk)

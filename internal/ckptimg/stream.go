@@ -82,7 +82,11 @@ func OpenDelta(data []byte, decodeTail bool) (*ChunkReader, error) {
 		return nil, fmt.Errorf("ckptimg: not a delta image (stream it with OpenAppState)")
 	}
 
-	r := &ChunkReader{compressed: flags&FlagGzip != 0}
+	if err := checkCompressFlags(flags); err != nil {
+		return nil, err
+	}
+	r := &ChunkReader{compressed: flags&(FlagGzip|FlagLZ) != 0}
+	r.inf.lz = flags&FlagLZ != 0
 	if decodeTail {
 		r.Image = &Image{}
 	}
@@ -166,7 +170,8 @@ func (r *ChunkReader) ChunkLen(i int) int {
 	return min(r.ChunkBytes, r.NewLen-i*r.ChunkBytes)
 }
 
-// Compressed reports whether changed chunk payloads are gzip streams.
+// Compressed reports whether changed chunk payloads are compressed
+// streams (gzip under FlagGzip, fast-lz frames under FlagLZ).
 func (r *ChunkReader) Compressed() bool { return r.compressed }
 
 // InflateChunk decodes changed chunk i into dst — which must be exactly
@@ -251,14 +256,133 @@ func (m *multiSliceReader) skip(n int) error {
 // image without materializing it: the chunk-pipelined restart path
 // reads a base's winning chunks in order and skips superseded ones. On
 // an uncompressed image Skip is free (APPS payloads are subslices of
-// the input); on a compressed image the single gzip stream must still
-// be inflated through, but nothing is copied out for skipped regions.
-// The payloads alias the OpenAppState input. Not safe for concurrent
-// use.
+// the input); on a gzip image the single stream must still be inflated
+// through, but nothing is copied out for skipped regions; on a fast-lz
+// image whole 64 KiB blocks spanned by a Skip are passed over without
+// inflating them at all — the frame's independent blocks have implied
+// raw sizes. The payloads alias the OpenAppState input. Not safe for
+// concurrent use.
 type AppReader struct {
 	ms    multiSliceReader
 	zr    *gzip.Reader // non-nil when the app state is one gzip stream
+	lzr   *lzAppReader // non-nil when it is one fast-lz frame
 	total int
+}
+
+// lzAppReader streams a fast-lz frame block by block: exactly one
+// decoded block is resident, skipped blocks are never inflated.
+type lzAppReader struct {
+	ms        *multiSliceReader
+	total     int    // raw frame size, from the frame header
+	remaining int    // raw bytes not yet decoded into block
+	block     []byte // decoded, unread bytes of the current block
+	blockBuf  []byte // decode target, reused across blocks
+	scratch   []byte // compressed payload staging, reused across blocks
+}
+
+func newLZAppReader(ms *multiSliceReader) (*lzAppReader, error) {
+	var hdr [lzFrameHdr]byte
+	if _, err := io.ReadFull(ms, hdr[:]); err != nil {
+		return nil, err
+	}
+	total, err := lzFrameSize(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	return &lzAppReader{ms: ms, total: total, remaining: total}, nil
+}
+
+// readBlockHeader consumes the next block's 4-byte header.
+func (r *lzAppReader) readBlockHeader() (size int, raw bool, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.ms, hdr[:]); err != nil {
+		return 0, false, err
+	}
+	h := binary.LittleEndian.Uint32(hdr[:])
+	return int(h &^ lzRawBit), h&lzRawBit != 0, nil
+}
+
+// nextBlock decodes the next block; the caller has drained the current
+// one. The raw size is implied by the frame position.
+func (r *lzAppReader) nextBlock() error {
+	want := min(lzBlockSize, r.remaining)
+	size, stored, err := r.readBlockHeader()
+	if err != nil {
+		return err
+	}
+	if cap(r.scratch) < size {
+		r.scratch = make([]byte, size)
+	}
+	buf := r.scratch[:size]
+	if _, err := io.ReadFull(r.ms, buf); err != nil {
+		return err
+	}
+	if stored {
+		if size != want {
+			return fmt.Errorf("stored block is %d bytes, want %d", size, want)
+		}
+		r.block = buf
+	} else {
+		if cap(r.blockBuf) < want {
+			r.blockBuf = make([]byte, 0, lzBlockSize)
+		}
+		out, err := lzDecompressBlock(r.blockBuf[:0], buf, want)
+		if err != nil {
+			return err
+		}
+		if len(out) != want {
+			return fmt.Errorf("block inflated to %d bytes, want %d", len(out), want)
+		}
+		r.blockBuf, r.block = out, out
+	}
+	r.remaining -= want
+	return nil
+}
+
+func (r *lzAppReader) Read(p []byte) (int, error) {
+	for len(r.block) == 0 {
+		if r.remaining == 0 {
+			return 0, io.EOF
+		}
+		if err := r.nextBlock(); err != nil {
+			return 0, err
+		}
+	}
+	k := copy(p, r.block)
+	r.block = r.block[k:]
+	return k, nil
+}
+
+// skip discards n raw bytes; blocks it spans entirely are passed over
+// compressed.
+func (r *lzAppReader) skip(n int) error {
+	for n > 0 {
+		if len(r.block) > 0 {
+			k := min(n, len(r.block))
+			r.block = r.block[k:]
+			n -= k
+			continue
+		}
+		if r.remaining == 0 {
+			return io.ErrUnexpectedEOF
+		}
+		if blockRaw := min(lzBlockSize, r.remaining); n >= blockRaw {
+			size, _, err := r.readBlockHeader()
+			if err != nil {
+				return err
+			}
+			if err := r.ms.skip(size); err != nil {
+				return err
+			}
+			r.remaining -= blockRaw
+			n -= blockRaw
+			continue
+		}
+		if err := r.nextBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // OpenAppState walks a full v3 image's sections — frame-checking each —
@@ -276,6 +400,9 @@ func OpenAppState(data []byte) (*AppReader, error) {
 	}
 	if flags&^knownFlags != 0 {
 		return nil, fmt.Errorf("ckptimg: unknown header flags %#x", flags&^knownFlags)
+	}
+	if err := checkCompressFlags(flags); err != nil {
+		return nil, err
 	}
 	if flags&FlagDelta != 0 {
 		return nil, ErrDeltaImage
@@ -307,43 +434,60 @@ func OpenAppState(data []byte) (*AppReader, error) {
 	if c.rest() > 0 {
 		return nil, fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
 	}
-	if flags&FlagGzip != 0 {
+	switch {
+	case flags&FlagGzip != 0:
 		zr, err := getGzipReader(&r.ms)
 		if err != nil {
 			return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
 		}
 		r.zr = zr
 		r.total = -1
+	case flags&FlagLZ != 0:
+		lzr, err := newLZAppReader(&r.ms)
+		if err != nil {
+			return nil, fmt.Errorf("ckptimg: decompressing app state (%w): %w", ErrCorrupt, err)
+		}
+		r.lzr = lzr
+		r.total = lzr.total
 	}
 	return r, nil
 }
 
-// Compressed reports whether the app state travels as one gzip stream.
-func (r *AppReader) Compressed() bool { return r.zr != nil }
+// Compressed reports whether the app state travels as one compressed
+// stream (gzip or fast-lz).
+func (r *AppReader) Compressed() bool { return r.zr != nil || r.lzr != nil }
 
-// Total reports the raw application-state length, or -1 on a
-// compressed image (the gzip stream reveals it only at EOF).
+// Total reports the raw application-state length, or -1 on a gzip
+// image (the gzip stream reveals it only at EOF; a fast-lz frame
+// declares it up front).
 func (r *AppReader) Total() int { return r.total }
 
 // Read returns the next raw application-state bytes.
 func (r *AppReader) Read(p []byte) (int, error) {
-	if r.zr != nil {
+	switch {
+	case r.zr != nil:
 		return r.zr.Read(p)
+	case r.lzr != nil:
+		return r.lzr.Read(p)
 	}
 	return r.ms.Read(p)
 }
 
 // Skip discards the next n raw bytes: free on an uncompressed image,
-// one inflate-and-discard pass on a compressed one.
+// one inflate-and-discard pass on a gzip image, and block-granular on
+// a fast-lz image (fully spanned blocks stay compressed).
 func (r *AppReader) Skip(n int) error {
-	if r.zr == nil {
-		return r.ms.skip(n)
+	switch {
+	case r.zr != nil:
+		_, err := io.CopyN(io.Discard, r.zr, int64(n))
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	case r.lzr != nil:
+		return r.lzr.skip(n)
 	}
-	_, err := io.CopyN(io.Discard, r.zr, int64(n))
-	if err == io.EOF {
-		err = io.ErrUnexpectedEOF
-	}
-	return err
+	return r.ms.skip(n)
 }
 
 // Close returns the pooled gzip reader. The reader must not be used

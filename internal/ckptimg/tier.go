@@ -33,6 +33,13 @@ const (
 	// TierMax is gzip.BestCompression — the archival tier for base
 	// generations that are kept long-term.
 	TierMax
+	// TierFastLZ is the pure-Go LZ-class codec (lz.go): greedy
+	// hash-table matching and literal runs in an lz4-style frame, no
+	// Huffman pass. It trades ratio for raw encode throughput — the
+	// tier for hot checkpoint cuts whose long-range redundancy the
+	// store's dedup and delta layers already capture. Images written
+	// under it carry FlagLZ instead of FlagGzip.
+	TierFastLZ
 )
 
 // level maps the tier to a flate compression level.
@@ -48,6 +55,8 @@ func (t CompressTier) level() int {
 }
 
 // idx bounds the tier into the pool array; unknown values act balanced.
+// TierFastLZ never reaches the gzip pools (its codec is lz.go), so the
+// array stays sized to the gzip tiers.
 func (t CompressTier) idx() int {
 	if t < TierBalanced || t > TierMax {
 		return int(TierBalanced)
@@ -62,6 +71,8 @@ func (t CompressTier) String() string {
 		return "fast"
 	case TierMax:
 		return "max"
+	case TierFastLZ:
+		return "fast-lz"
 	default:
 		return "balanced"
 	}
@@ -77,8 +88,10 @@ func ParseCompressTier(s string) (CompressTier, error) {
 		return TierFast, nil
 	case "max":
 		return TierMax, nil
+	case "fast-lz", "fastlz", "lz":
+		return TierFastLZ, nil
 	}
-	return TierBalanced, fmt.Errorf("ckptimg: unknown compression tier %q (want fast, balanced, or max)", s)
+	return TierBalanced, fmt.Errorf("ckptimg: unknown compression tier %q (want fast, balanced, max, or fast-lz)", s)
 }
 
 // ---------------------------------------------------------------------
@@ -157,21 +170,27 @@ func putGzipReader(zr *gzip.Reader) {
 	gzipReaderPool.Put(zr)
 }
 
-// chunkInflater decompresses the many small per-chunk gzip streams of a
-// delta image through one reader: the bytes.Reader and the pooled
-// gzip.Reader are checked out once and reset per chunk, instead of a
-// pool round-trip (and a fresh bytes.Reader) per chunk. Zero value is
-// ready; call release when done with the image. Not safe for concurrent
-// use — each decode owns its own inflater.
+// chunkInflater decompresses the many small per-chunk compressed
+// streams of a delta image through one reader: the bytes.Reader and the
+// pooled gzip.Reader are checked out once and reset per chunk, instead
+// of a pool round-trip (and a fresh bytes.Reader) per chunk. With lz
+// set (FlagLZ images) chunks are fast-lz frames instead, which carry
+// their raw size and inflate in place. Zero value is ready; call
+// release when done with the image. Not safe for concurrent use — each
+// decode owns its own inflater.
 type chunkInflater struct {
+	lz bool
 	br bytes.Reader
 	zr *gzip.Reader
 }
 
-// inflateInto decompresses one chunk's gzip stream into dst, which must
-// be exactly the chunk's uncompressed length; a stream that is shorter
-// or longer is an error.
+// inflateInto decompresses one chunk's compressed stream into dst,
+// which must be exactly the chunk's uncompressed length; a stream that
+// is shorter or longer is an error.
 func (ci *chunkInflater) inflateInto(dst, data []byte) error {
+	if ci.lz {
+		return lzFrameDecompressInto(dst, data)
+	}
 	ci.br.Reset(data)
 	if ci.zr == nil {
 		zr, err := getGzipReader(&ci.br)

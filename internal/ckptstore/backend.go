@@ -56,6 +56,10 @@ type BackendConfig struct {
 	// Front and Back name the tier backend's composed tiers (defaults:
 	// "mem" in front, "fs" behind when Dir is set, "obj" otherwise).
 	Front, Back string
+	// FrontCap bounds the tier backend's front tier to this many
+	// resident bytes (0 = unbounded); least-recently-used blobs already
+	// flushed to the back tier are evicted past the cap.
+	FrontCap int64
 }
 
 var (

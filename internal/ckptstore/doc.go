@@ -92,6 +92,56 @@
 // Register custom backends with RegisterBackend; Options.Backend
 // selects one by name.
 //
+// # Content-addressed dedup
+//
+// With Options.Dedup the store splits each rank's encoded image into
+// content segments (ckptimg.SplitDedupSegments: section frames of the
+// v3 format, with app state already chunked at ChunkBytes granularity
+// by the encoder) and stores each unique segment once, as a blob keyed
+// by its content:
+//
+//	blob/<crc32>-<length>-<sha256 prefix>
+//
+// The per-rank generation key no longer holds image bytes; it holds a
+// recipe — an ordered list of blob keys whose concatenation is exactly
+// the encoded image. Blobs are shared across ranks and across
+// generations: rank-identical state (HPCG's assembled stencil matrix)
+// and unchanged-across-generations state both collapse to one stored
+// copy. Materialize and MaterializeStream resolve recipes through the
+// blob table transparently; restart output is byte-identical to the
+// plain store's.
+//
+// Blob ownership and the refcount lifecycle:
+//
+//   - A blob is owned by the set of recipes that reference it. The
+//     in-memory refcount table is derived state: it is rebuilt at Open
+//     by walking every surviving recipe, and is never persisted. The
+//     manifest pins only the store's Dedup mode (a store is dedup or
+//     plain for its whole life; Open rejects a mode mismatch).
+//   - Commit writes only blobs the table does not already hold, then
+//     the recipes, then increments refcounts ("applyRefs") only after
+//     the manifest flips — so a failed commit rolls back by deleting
+//     exactly the blobs it introduced, never a shared one.
+//   - Prune and generation discard delete the recipe FIRST, then
+//     decrement; a blob is deleted only when its refcount reaches
+//     zero. Because the recipe is gone before any blob delete, a crash
+//     mid-prune retries idempotently: the next Open's rebuild simply
+//     never counts the dead recipe, and rebuildRefs deletes any blob
+//     no surviving recipe references (self-healing a failed blob
+//     delete the same way it collects a torn commit's orphans).
+//
+// Crash-resume rule of thumb: recipes are the source of truth; blobs
+// and refcounts follow. Any blob unreachable from a live recipe is
+// garbage and Open collects it; any blob reachable from a live recipe
+// is never deleted.
+//
+// Cost attribution: the simulated job charges only new unique bytes
+// per commit. A chunk shared by several ranks in the same generation
+// is paid for by the lowest rank that carries it (CommitCharge);
+// recipe bytes are charged to their rank. ChainStats reports
+// UniqueBytes/DedupBytes/SharedChunks so experiments can price the
+// dedup ratio directly.
+//
 // # The tier drainer
 //
 // The tier backend's Put is write-through: it returns once the front
@@ -122,6 +172,16 @@
 // trails it at the back profile's; DrainLag reports their gap — the
 // durability price of committing at burst-buffer speed — which the
 // backends experiment surfaces as its drain-lag column.
+//
+// The front tier is unbounded by default; Options.FrontCap bounds it
+// in bytes with LRU eviction. Eviction never drops the only copy of a
+// blob: keys still queued for (or in-flight to) the back tier and the
+// manifest key are pinned, so under flush backlog the front tier may
+// transiently overshoot its cap and recovers on the next insert.
+// Evicted keys fall through to the back tier on Get and re-promote
+// into the front (re-entering the LRU); Ops() reports front
+// hits/misses, promotions, evictions, and current residency against
+// the cap.
 //
 // # Concurrency model
 //
@@ -171,9 +231,12 @@
 //     state buffer, with one chunk-sized scratch per rank for
 //     length-mismatched tails.
 //
-// Compression is configured per store: Options.Compress enables gzip,
-// Options.CompressTier picks the flate effort — ckptimg.TierFast
+// Compression is configured per store: Options.Compress enables it,
+// Options.CompressTier picks the codec and effort — ckptimg.TierFast
 // (flate BestSpeed, images flagged ckptimg.FlagFastCompress) for hot
 // checkpoints, ckptimg.TierMax for archival generations,
-// ckptimg.TierBalanced as the default middle ground.
+// ckptimg.TierBalanced as the default middle ground, and
+// ckptimg.TierFastLZ (images flagged ckptimg.FlagLZ) for the pure-Go
+// LZ-class codec that trades some ratio for roughly twice gzip
+// BestSpeed's throughput.
 package ckptstore

@@ -87,7 +87,7 @@ func TestExplicitPrune(t *testing.T) {
 	// A reader that lost the race against a concurrent prune (its entry
 	// check passed, the blob vanished before its Get) still reports the
 	// typed error, not a bare missing blob.
-	if _, err := s2.getBlob(1, 0); !errors.Is(err, ErrPruned) {
+	if _, _, err := s2.getBlob(1, 0); !errors.Is(err, ErrPruned) {
 		t.Fatalf("racing read of a pruned blob: %v, want ErrPruned", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"manasim/internal/ckptimg"
@@ -40,6 +41,12 @@ type Options struct {
 	// (defaults: "mem" in front; "fs" behind when Dir is set, "obj"
 	// otherwise). Ignored by other backends.
 	FrontTier, BackTier string
+	// FrontCap bounds the "tier" backend's front tier to this many
+	// resident bytes (0 = unbounded): once a blob is flushed to the back
+	// tier, the least-recently-used blobs past the cap are evicted from
+	// the burst buffer and re-promoted on demand. Ignored by other
+	// backends.
+	FrontCap int64
 	// Delta enables incremental generations: after a base, ranks whose
 	// chunk index is known write delta images until ChainCap is hit.
 	Delta bool
@@ -48,6 +55,15 @@ type Options struct {
 	// generation to a base; ChainCapUnbounded (or any other negative)
 	// never forces one.
 	ChainCap int
+	// Dedup enables the content-addressed blob layer (dedup.go): Commit
+	// splits every rank image into section-aligned segments, stores each
+	// unique segment once — shared across ranks and generations — and
+	// writes a small reassembly recipe per rank. Materialize is
+	// behaviorally unchanged; the cost model charges only new unique
+	// bytes (CommitCharge). The mode is pinned by the manifest: a
+	// backend written with dedup must be reopened with it, and vice
+	// versa.
+	Dedup bool
 	// RetainBases, when positive, bounds blob growth: after each commit
 	// the store prunes superseded chains so at most RetainBases base
 	// generations (each with its trailing deltas) keep blobs. Zero keeps
@@ -101,6 +117,11 @@ type Generation struct {
 	// Bytes is the total encoded size across ranks — what the backend
 	// actually stored, the quantity the delta tier shrinks.
 	Bytes int64
+	// UniqueBytes is what the backend actually stored for the
+	// generation: with dedup, the new unique segment bytes plus the
+	// per-rank recipes; without, exactly Bytes. Bytes-UniqueBytes is the
+	// write traffic dedup eliminated.
+	UniqueBytes int64
 	// DeltaRanks counts ranks that stored an incremental image; 0 means
 	// the generation is a base.
 	DeltaRanks int
@@ -146,6 +167,16 @@ type ChainStats struct {
 	// holds O(image x links) (each delta link's inflated chunks and one
 	// state buffer per Apply); streaming holds O(image + chunk).
 	PeakBytes int64
+	// UniqueBytes is the stored bytes this resolution read through
+	// blobs only this chain references (dedup stores only; 0 otherwise).
+	UniqueBytes int64
+	// DedupBytes is the stored bytes read through blobs shared with
+	// some other live rank or generation — bytes the backend holds once
+	// but logically serves many times.
+	DedupBytes int64
+	// SharedChunks counts the shared blob references the resolution
+	// crossed.
+	SharedChunks int
 	// Streamed marks stats produced by the streaming resolver. A rank
 	// that fell back to batch resolution (non-v3 base) reports it
 	// false.
@@ -196,6 +227,12 @@ type manifest struct {
 	// PrunedTo is the first generation whose blobs survive retention;
 	// generations below it exist only as metadata.
 	PrunedTo int
+	// Dedup pins the content-addressed mode of the lineage. Blob
+	// refcounts are deliberately NOT persisted: they are derived state,
+	// rebuilt at Open from the surviving recipes (see rebuildRefs), so a
+	// crash between a prune's deletes and its manifest write cannot
+	// leave the counts stale.
+	Dedup bool
 }
 
 const manifestKey = "manifest"
@@ -216,6 +253,13 @@ type Store struct {
 	// retentionErr is the outcome of the latest automatic prune
 	// (LastRetentionErr); retention never fails a durable commit.
 	retentionErr error
+
+	// blobRefs is the live refcount per content-addressed blob key —
+	// one reference per recipe that lists it. Nil unless Options.Dedup.
+	blobRefs map[string]int
+	// lastUnique is the per-rank byte attribution of the most recent
+	// commit (CommitCharge).
+	lastUnique []int64
 }
 
 // Open builds a store for an n-rank job over the configured backend.
@@ -230,11 +274,14 @@ func Open(n int, o Options) (*Store, error) {
 		return nil, fmt.Errorf("ckptstore: store needs a positive rank count, got %d", n)
 	}
 	o = o.withDefaults()
-	b, err := NewBackend(o.Backend, BackendConfig{Dir: o.Dir, Front: o.FrontTier, Back: o.BackTier})
+	b, err := NewBackend(o.Backend, BackendConfig{Dir: o.Dir, Front: o.FrontTier, Back: o.BackTier, FrontCap: o.FrontCap})
 	if err != nil {
 		return nil, err
 	}
 	s := &Store{b: b, n: n, opts: o, index: make([]rankIndex, n)}
+	if o.Dedup {
+		s.blobRefs = make(map[string]int)
+	}
 	resumed := false
 	if data, err := b.Get(manifestKey); err == nil {
 		var m manifest
@@ -246,6 +293,9 @@ func Open(n int, o Options) (*Store, error) {
 		}
 		if m.ChunkBytes != o.ChunkBytes {
 			return nil, fmt.Errorf("ckptstore: backend chunk size %d != configured %d", m.ChunkBytes, o.ChunkBytes)
+		}
+		if m.Dedup != o.Dedup {
+			return nil, fmt.Errorf("ckptstore: backend holds a dedup=%v lineage, store configured dedup=%v", m.Dedup, o.Dedup)
 		}
 		s.gens, s.chain, s.index, s.prunedTo = m.Gens, m.Chain, m.Index, m.PrunedTo
 		resumed = true
@@ -259,7 +309,10 @@ func Open(n int, o Options) (*Store, error) {
 // pruneOrphans deletes generation blobs the manifest does not cover:
 // leftovers of a process that crashed between its blob writes and its
 // manifest update. resumed distinguishes "no manifest at all" (every
-// generation blob is an orphan) from a decoded one.
+// generation blob is an orphan) from a decoded one. With dedup the
+// pass also rebuilds the refcount table from the surviving recipes and
+// collects content blobs no recipe references — the crash-resume rule
+// for the content-addressed layer (see dedup.go).
 func (s *Store) pruneOrphans(resumed bool) error {
 	keys, err := s.b.List()
 	if err != nil {
@@ -270,7 +323,12 @@ func (s *Store) pruneOrphans(resumed bool) error {
 		head = len(s.gens)
 	}
 	var errs []error
+	var contentBlobs []string
 	for _, k := range keys {
+		if strings.HasPrefix(k, blobPrefix) {
+			contentBlobs = append(contentBlobs, k)
+			continue
+		}
 		var seq, rank int
 		if n, _ := fmt.Sscanf(k, "gen%d/rank%d", &seq, &rank); n != 2 {
 			continue
@@ -278,6 +336,21 @@ func (s *Store) pruneOrphans(resumed bool) error {
 		if seq >= head {
 			if err := s.b.Delete(k); err != nil {
 				errs = append(errs, fmt.Errorf("ckptstore: pruning orphan %q: %w", k, err))
+			}
+		}
+	}
+	if s.opts.Dedup {
+		if err := s.rebuildRefs(contentBlobs); err != nil {
+			errs = append(errs, err)
+		}
+	} else {
+		// A non-dedup store never owns content blobs; any present are
+		// leftovers of a dedup process that crashed before its first
+		// manifest write (a mode mismatch against a manifest errors out
+		// in Open instead).
+		for _, bk := range contentBlobs {
+			if err := s.b.Delete(bk); err != nil {
+				errs = append(errs, fmt.Errorf("ckptstore: pruning orphan blob %q: %w", bk, err))
 			}
 		}
 	}
@@ -441,11 +514,45 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 		newIndex[r] = results[r].index
 	}
 
+	// Phase 1.5 (dedup): segment and hash every image in parallel, then
+	// merge serially in rank order — new blobs, refcount increments, and
+	// the per-rank unique-byte attribution are all deterministic.
+	var plan *dedupPlan
+	unique := make([]int64, s.n)
+	if s.opts.Dedup {
+		var err error
+		if plan, err = s.planDedup(images); err != nil {
+			return Generation{}, err
+		}
+		copy(unique, plan.unique)
+	} else {
+		for r := range images {
+			unique[r] = int64(len(images[r]))
+		}
+	}
+	for _, u := range unique {
+		gen.UniqueBytes += u
+	}
+
 	// Phase 2: persist every rank blob in parallel. On any failure the
 	// generation's blobs are deleted so the backend holds no torso; a
 	// rollback that itself fails to delete is reported alongside, never
-	// swallowed — the caller must know blobs leaked.
-	if err := forEachRank(s.n, s.opts.Workers, func(r int) error {
+	// swallowed — the caller must know blobs leaked. In dedup mode the
+	// writes are the new unique content blobs plus one recipe per rank,
+	// and the rollback deletes only what this commit introduced.
+	if s.opts.Dedup {
+		if err := forEachRank(len(plan.newBlobs)+s.n, s.opts.Workers, func(i int) error {
+			if i < len(plan.newBlobs) {
+				nb := plan.newBlobs[i]
+				return s.b.Put(nb.key, nb.data)
+			}
+			r := i - len(plan.newBlobs)
+			return s.b.Put(key(seq, r), plan.recipes[r])
+		}); err != nil {
+			return Generation{}, errors.Join(err, s.discardDedup(seq, plan.newBlobs))
+		}
+		s.applyRefs(plan.added)
+	} else if err := forEachRank(s.n, s.opts.Workers, func(r int) error {
 		return s.b.Put(key(seq, r), images[r])
 	}); err != nil {
 		return Generation{}, errors.Join(err, s.discardGeneration(seq))
@@ -464,6 +571,10 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 	rollback := func(err error) error {
 		s.gens = s.gens[:len(s.gens)-1]
 		s.chain, s.index = oldChain, oldIndex
+		if s.opts.Dedup {
+			s.unapplyRefs(plan.added)
+			return errors.Join(err, s.discardDedup(seq, plan.newBlobs))
+		}
 		return errors.Join(err, s.discardGeneration(seq))
 	}
 	if err := s.persistManifest(); err != nil {
@@ -497,6 +608,7 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 	if s.opts.RetainBases > 0 {
 		s.retentionErr = s.pruneLocked(s.opts.RetainBases)
 	}
+	s.lastUnique = unique
 	return gen, nil
 }
 
@@ -559,7 +671,14 @@ func (s *Store) pruneLocked(keepBases int) error {
 	var errs []error
 	for seq := s.prunedTo; seq < cutoff; seq++ {
 		for r := 0; r < s.n; r++ {
-			if err := s.b.Delete(key(seq, r)); err != nil {
+			if s.opts.Dedup {
+				// Refcounted delete: the recipe goes first, then each blob
+				// whose last reference this was. A blob another live
+				// recipe still lists survives — see pruneRecipe.
+				if err := s.pruneRecipe(key(seq, r)); err != nil {
+					errs = append(errs, err)
+				}
+			} else if err := s.b.Delete(key(seq, r)); err != nil {
 				errs = append(errs, fmt.Errorf("ckptstore: pruning generation %d rank %d: %w", seq, r, err))
 			}
 		}
@@ -587,7 +706,7 @@ func (s *Store) persistManifest() error {
 	if err := gob.NewEncoder(&buf).Encode(&manifest{
 		N: s.n, ChunkBytes: s.opts.ChunkBytes,
 		Gens: s.gens, Chain: s.chain, Index: s.index,
-		PrunedTo: s.prunedTo,
+		PrunedTo: s.prunedTo, Dedup: s.opts.Dedup,
 	}); err != nil {
 		return fmt.Errorf("ckptstore: encoding manifest: %w", err)
 	}
@@ -656,16 +775,25 @@ func (s *Store) MaterializeHead() ([][]byte, []ChainStats, error) {
 	return s.Materialize(n - 1)
 }
 
-// getBlob reads one rank blob without s.mu. Committed blobs are never
-// rewritten, but retention may delete them concurrently: a read that
-// lost that race reports the typed ErrPruned instead of a bare missing
-// blob, so callers matching errors.Is keep working.
-func (s *Store) getBlob(seq, rank int) ([]byte, error) {
+// getBlob reads one rank image without s.mu. Committed images are
+// never rewritten, but retention may delete them concurrently: a read
+// that lost that race reports the typed ErrPruned instead of a bare
+// missing blob, so callers matching errors.Is keep working. On a dedup
+// store the rank key holds a recipe, which is reassembled — and
+// verified blob-by-blob — into the exact original encoded image; the
+// dedupRead reports how much of it came through shared blobs.
+func (s *Store) getBlob(seq, rank int) ([]byte, dedupRead, error) {
 	data, err := s.b.Get(key(seq, rank))
-	if err != nil && seq < s.PrunedBefore() {
-		return nil, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", seq, ErrPruned)
+	if err != nil {
+		if seq < s.PrunedBefore() {
+			return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", seq, ErrPruned)
+		}
+		return nil, dedupRead{}, err
 	}
-	return data, err
+	if !s.opts.Dedup {
+		return data, dedupRead{}, nil
+	}
+	return s.assembleRecipe(seq, rank, data)
 }
 
 // materializeRank resolves one rank's chain at seq. It runs without
@@ -673,15 +801,19 @@ func (s *Store) getBlob(seq, rank int) ([]byte, error) {
 // of committed generations, which are only ever deleted by retention
 // (surfaced as ErrPruned), never rewritten.
 func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
-	data, err := s.getBlob(seq, rank)
+	data, dr, err := s.getBlob(seq, rank)
 	if err != nil {
 		return nil, ChainStats{}, err
 	}
 	if !ckptimg.IsDelta(data) {
-		return data, ChainStats{BaseBytes: int64(len(data)), PeakBytes: int64(len(data))}, nil
+		return data, ChainStats{
+			BaseBytes: int64(len(data)), PeakBytes: int64(len(data)),
+			UniqueBytes: dr.unique, DedupBytes: dr.shared, SharedChunks: dr.refs,
+		}, nil
 	}
 	// Walk back to the rank's nearest base, stacking deltas.
 	var st ChainStats
+	st.UniqueBytes, st.DedupBytes, st.SharedChunks = dr.unique, dr.shared, dr.refs
 	var deltas []*ckptimg.Delta
 	cur := seq
 	for ckptimg.IsDelta(data) {
@@ -705,10 +837,13 @@ func (s *Store) materializeRank(seq, rank int) ([]byte, ChainStats, error) {
 		if cur < 0 {
 			return nil, ChainStats{}, fmt.Errorf("ckptstore: rank %d delta chain has no base", rank)
 		}
-		data, err = s.getBlob(cur, rank)
+		data, dr, err = s.getBlob(cur, rank)
 		if err != nil {
 			return nil, ChainStats{}, err
 		}
+		st.UniqueBytes += dr.unique
+		st.DedupBytes += dr.shared
+		st.SharedChunks += dr.refs
 	}
 	st.BaseBytes = int64(len(data))
 	base, err := ckptimg.Decode(data)

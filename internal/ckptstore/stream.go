@@ -77,18 +77,20 @@ func (s *Store) MaterializeStreamHead() ([]*ckptimg.Image, []ChainStats, error) 
 // fetchResult is one lookahead backend read.
 type fetchResult struct {
 	data []byte
+	dr   dedupRead
 	err  error
 }
 
-// prefetchBlob starts one background backend Get — the link lookahead
-// that overlaps the parent's read with the current link's parse. The
-// channel is buffered, so an abandoned prefetch never leaks its
-// goroutine.
-func prefetchBlob(b Backend, k string) chan fetchResult {
+// prefetchBlob starts one background rank-image read — the link
+// lookahead that overlaps the parent's read with the current link's
+// parse. It goes through getBlob so a dedup store's recipes reassemble
+// off the critical path too. The channel is buffered, so an abandoned
+// prefetch never leaks its goroutine.
+func (s *Store) prefetchBlob(seq, rank int) chan fetchResult {
 	ch := make(chan fetchResult, 1)
 	go func() {
-		data, err := b.Get(k)
-		ch <- fetchResult{data, err}
+		data, dr, err := s.getBlob(seq, rank)
+		ch <- fetchResult{data, dr, err}
 	}()
 	return ch
 }
@@ -105,7 +107,7 @@ type prefixCheck struct {
 // streaming pipeline. Like materializeRank it runs without s.mu:
 // committed generations are immutable.
 func (s *Store) materializeRankStream(seq, rank int) (*ckptimg.Image, ChainStats, error) {
-	data, err := s.getBlob(seq, rank)
+	data, dr, err := s.getBlob(seq, rank)
 	if err != nil {
 		return nil, ChainStats{}, err
 	}
@@ -119,6 +121,8 @@ func (s *Store) materializeRankStream(seq, rank int) (*ckptimg.Image, ChainStats
 			Streamed:  true,
 			BaseBytes: int64(len(data)),
 			PeakBytes: int64(len(data) + len(img.AppState)),
+
+			UniqueBytes: dr.unique, DedupBytes: dr.shared, SharedChunks: dr.refs,
 		}
 		if n := len(img.AppState); n > 0 {
 			st.ChunksRead = (n + s.opts.ChunkBytes - 1) / s.opts.ChunkBytes
@@ -135,12 +139,13 @@ func (s *Store) materializeRankStream(seq, rank int) (*ckptimg.Image, ChainStats
 		}
 	}()
 	st := ChainStats{Streamed: true}
+	st.UniqueBytes, st.DedupBytes, st.SharedChunks = dr.unique, dr.shared, dr.refs
 	blobBytes := int64(len(data))
 	cur := seq
 	for ckptimg.IsDelta(data) {
 		var pf chan fetchResult
 		if cur > 0 {
-			pf = prefetchBlob(s.b, key(cur-1, rank))
+			pf = s.prefetchBlob(cur-1, rank)
 		}
 		cr, err := ckptimg.OpenDelta(data, len(links) == 0)
 		if err != nil {
@@ -172,6 +177,9 @@ func (s *Store) materializeRankStream(seq, rank int) (*ckptimg.Image, ChainStats
 			return nil, ChainStats{}, res.err
 		}
 		data = res.data
+		st.UniqueBytes += res.dr.unique
+		st.DedupBytes += res.dr.shared
+		st.SharedChunks += res.dr.refs
 		blobBytes += int64(len(data))
 	}
 

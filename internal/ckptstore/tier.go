@@ -31,9 +31,16 @@ const tierDrainWorkers = 2
 // and reports every flush failure since the previous barrier;
 // Store.Commit issues it after the manifest write so the commit's
 // durability promise covers the back tier too.
+//
+// A positive FrontCap turns the front tier into a bounded LRU cache
+// (a real burst buffer has a capacity): blobs already flushed to the
+// back tier are evicted coldest-first once residency passes the cap and
+// re-promoted on demand; blobs not yet flushed are pinned. TierOps
+// counts the hits, misses, promotions, and evictions.
 type tierBackend struct {
 	front, back     Backend
 	frontFS, backFS fsim.FS
+	frontCap        int64 // front-tier residency bound in bytes (0 = unbounded)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -43,6 +50,14 @@ type tierBackend struct {
 	workers  int
 	flushErr []error // failures since the last barrier
 	flushed  int     // blobs landed on the back tier
+
+	// Front-tier residency: a bounded burst buffer is a cache, so the
+	// backend tracks which keys live on the front tier and in what LRU
+	// order, evicting cold flushed blobs once frontBytes passes the cap.
+	sizes      map[string]int64 // bytes resident on the front tier, per key
+	lru        []string         // front-tier keys, least recently used first
+	frontBytes int64
+	ops        TierOps // hit/miss/promotion/eviction counters
 
 	// Modeled durability clocks: frontVT advances by the front profile
 	// per Put (serialized-commit approximation), backVT trails it by the
@@ -95,8 +110,10 @@ func newTierBackend(cfg BackendConfig) (Backend, error) {
 		front: front, back: back,
 		frontFS:  profileOr(front, fsim.BurstBuffer()),
 		backFS:   profileOr(back, fsim.NFSv3()),
+		frontCap: cfg.FrontCap,
 		queued:   make(map[string]bool),
 		inflight: make(map[string]bool),
+		sizes:    make(map[string]int64),
 	}
 	b.cond = sync.NewCond(&b.mu)
 	return b, nil
@@ -125,12 +142,93 @@ func (b *tierBackend) Put(key string, data []byte) error {
 		b.queued[key] = true
 		b.queue = append(b.queue, key)
 	}
+	b.noteResidentLocked(key, n)
 	if b.workers < tierDrainWorkers {
 		b.workers++
 		go b.drainLoop()
 	}
 	b.mu.Unlock()
 	return nil
+}
+
+// noteResidentLocked records key as resident on the front tier with the
+// given size, marks it most recently used, and evicts cold keys past the
+// capacity bound.
+func (b *tierBackend) noteResidentLocked(key string, n int64) {
+	if b.frontCap <= 0 {
+		return // unbounded front tier: no residency bookkeeping needed
+	}
+	if b.sizes == nil {
+		b.sizes = make(map[string]int64)
+	}
+	if old, ok := b.sizes[key]; ok {
+		b.frontBytes -= old
+		b.touchLocked(key)
+	} else {
+		b.lru = append(b.lru, key)
+	}
+	b.sizes[key] = n
+	b.frontBytes += n
+	b.evictLocked(key)
+}
+
+// touchLocked moves key to the most-recently-used end of the LRU order.
+func (b *tierBackend) touchLocked(key string) {
+	for i, k := range b.lru {
+		if k == key {
+			b.lru = append(b.lru[:i], b.lru[i+1:]...)
+			b.lru = append(b.lru, key)
+			return
+		}
+	}
+}
+
+// evictLocked deletes least-recently-used front-tier blobs until the
+// resident bytes fit the cap. Keys still awaiting or undergoing a
+// back-tier flush are pinned — the front tier holds their only copy —
+// as are the manifest (tiny, and the first thing every resume reads)
+// and the key just touched. When every candidate is pinned the front
+// tier overshoots the cap; the next insert tries again after the drain
+// has caught up.
+func (b *tierBackend) evictLocked(keep string) {
+	if b.frontCap <= 0 {
+		return
+	}
+	for b.frontBytes > b.frontCap {
+		victim := ""
+		for _, k := range b.lru {
+			if k == keep || k == manifestKey || b.queued[k] || b.inflight[k] {
+				continue
+			}
+			victim = k
+			break
+		}
+		if victim == "" {
+			return
+		}
+		b.dropResidentLocked(victim)
+		// A failed front delete leaves a stale blob that the next Get
+		// will still hit; residency bookkeeping is dropped either way so
+		// the cap keeps governing what the backend believes it holds.
+		_ = b.front.Delete(victim)
+		b.ops.Evictions++
+	}
+}
+
+// dropResidentLocked forgets key's front-tier residency bookkeeping.
+func (b *tierBackend) dropResidentLocked(key string) {
+	n, ok := b.sizes[key]
+	if !ok {
+		return
+	}
+	b.frontBytes -= n
+	delete(b.sizes, key)
+	for i, k := range b.lru {
+		if k == key {
+			b.lru = append(b.lru[:i], b.lru[i+1:]...)
+			break
+		}
+	}
 }
 
 // drainLoop is one bounded drain worker: pop a key, copy front → back,
@@ -207,8 +305,15 @@ func (b *tierBackend) Flushed() int {
 
 func (b *tierBackend) Get(key string) ([]byte, error) {
 	if data, err := b.front.Get(key); err == nil {
+		b.mu.Lock()
+		b.ops.FrontHits++
+		b.touchLocked(key)
+		b.mu.Unlock()
 		return data, nil
 	}
+	b.mu.Lock()
+	b.ops.FrontMisses++
+	b.mu.Unlock()
 	data, err := b.back.Get(key)
 	if err != nil {
 		return nil, err
@@ -218,6 +323,10 @@ func (b *tierBackend) Get(key string) ([]byte, error) {
 	if err := b.front.Put(key, data); err != nil {
 		return nil, fmt.Errorf("ckptstore: tier promote of %q: %w", key, err)
 	}
+	b.mu.Lock()
+	b.ops.Promotions++
+	b.noteResidentLocked(key, int64(len(data)))
+	b.mu.Unlock()
 	return data, nil
 }
 
@@ -259,6 +368,27 @@ func (b *tierBackend) Delete(key string) error {
 	for b.inflight[key] {
 		b.cond.Wait()
 	}
+	b.dropResidentLocked(key)
 	b.mu.Unlock()
 	return errors.Join(b.front.Delete(key), b.back.Delete(key))
+}
+
+// TierOps counts the front-tier cache traffic of a tier backend: Get
+// hits and misses against the front tier, promotions of back-tier blobs
+// into it, and the LRU evictions its capacity bound forced. FrontBytes
+// and FrontCap snapshot the current residency against the configured
+// bound (FrontCap 0 = unbounded, no evictions ever).
+type TierOps struct {
+	FrontHits, FrontMisses, Promotions, Evictions int
+	FrontBytes, FrontCap                          int64
+}
+
+// Ops reports the front-tier cache counters so far.
+func (b *tierBackend) Ops() TierOps {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ops := b.ops
+	ops.FrontBytes = b.frontBytes
+	ops.FrontCap = b.frontCap
+	return ops
 }

@@ -139,6 +139,11 @@ func TestTierDrainLagModeled(t *testing.T) {
 	if cm := tier.CostModel(); cm.Name != "burstbuffer" {
 		t.Fatalf("tier cost model %q, want the burst-buffer front profile", cm.Name)
 	}
+	// Let the flush settle so TempDir cleanup does not race the drain
+	// workers (the lag above was measured before the barrier).
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // slowBackend wraps a backend, delaying and recording Puts — the
@@ -308,5 +313,180 @@ func TestObjBackendRoundTrips(t *testing.T) {
 	}
 	if _, err := b.Get("gen0000/rank00"); err == nil {
 		t.Fatal("deleted object still readable")
+	}
+}
+
+// gateBackend wraps a backend, holding every Put until the gate opens —
+// it keeps tier flushes pending so eviction pinning can be observed
+// deterministically.
+type gateBackend struct {
+	Backend
+	gate chan struct{}
+}
+
+func (b *gateBackend) Put(key string, data []byte) error {
+	<-b.gate
+	return b.Backend.Put(key, data)
+}
+
+// TestTierFrontCapEvictsLRU pins the bounded burst buffer: past the
+// cap, the coldest flushed blob is evicted from the front tier, recent
+// blobs stay, and the victim is still served read-through from the back
+// tier (counted as a miss plus a promotion).
+func TestTierFrontCapEvictsLRU(t *testing.T) {
+	tier, err := NewBackend("tier", BackendConfig{Dir: t.TempDir(), FrontCap: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tier.(*tierBackend)
+	blob := func(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 1024) }
+	for i := 0; i < 2; i++ {
+		if err := tier.Put(key(0, i), blob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if ops := tb.Ops(); ops.Evictions != 0 || ops.FrontBytes != 2048 {
+		t.Fatalf("cap not exceeded yet, ops %+v", ops)
+	}
+	// Touch rank 0 so rank 1 becomes the LRU victim.
+	if _, err := tier.Get(key(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Put(key(0, 2), blob(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.(Drainer).DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	ops := tb.Ops()
+	if ops.Evictions != 1 || ops.FrontBytes > ops.FrontCap {
+		t.Fatalf("eviction did not enforce the cap: %+v", ops)
+	}
+	if _, err := tb.front.Get(key(0, 1)); err == nil {
+		t.Fatal("LRU victim still on the front tier")
+	}
+	if _, err := tb.front.Get(key(0, 0)); err != nil {
+		t.Fatal("recently-used blob evicted instead of the LRU one")
+	}
+	// The victim is still served read-through and re-promoted, which in
+	// turn evicts the now-coldest blob to stay under the cap.
+	before := ops
+	got, err := tier.Get(key(0, 1))
+	if err != nil || !bytes.Equal(got, blob(1)) {
+		t.Fatalf("evicted blob unreadable: %v", err)
+	}
+	ops = tb.Ops()
+	if ops.FrontMisses != before.FrontMisses+1 || ops.Promotions != before.Promotions+1 {
+		t.Fatalf("miss/promotion not counted: %+v -> %+v", before, ops)
+	}
+	if ops.Evictions != 2 || ops.FrontBytes > ops.FrontCap {
+		t.Fatalf("re-promotion past the cap did not evict: %+v", ops)
+	}
+}
+
+// TestTierFrontCapPinsUnflushed: blobs whose only copy is the front
+// tier (their back-tier flush still pending) are never evicted, even
+// far past the cap — the bound overshoots until the drain catches up,
+// then the next insert evicts down to it.
+func TestTierFrontCapPinsUnflushed(t *testing.T) {
+	gate := &gateBackend{Backend: newMemBackend(), gate: make(chan struct{})}
+	tb := &tierBackend{
+		front:    newMemBackend(),
+		back:     gate,
+		frontCap: 1024,
+		queued:   make(map[string]bool),
+		inflight: make(map[string]bool),
+		sizes:    make(map[string]int64),
+	}
+	tb.cond = sync.NewCond(&tb.mu)
+	for i := 0; i < 4; i++ {
+		if err := tb.Put(key(0, i), bytes.Repeat([]byte{byte(i)}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ops := tb.Ops(); ops.Evictions != 0 || ops.FrontBytes != 4096 {
+		t.Fatalf("unflushed blobs evicted: %+v", ops)
+	}
+	close(gate.gate)
+	if err := tb.DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Put(key(1, 0), bytes.Repeat([]byte{9}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if ops := tb.Ops(); ops.Evictions != 4 || ops.FrontBytes != 512 {
+		t.Fatalf("flushed blobs not evicted down to the cap: %+v", ops)
+	}
+	if err := tb.DrainBarrier(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTierFrontCapKeepsManifest: the manifest is never evicted — every
+// resume starts by reading it, so it must stay at front-tier speed.
+func TestTierFrontCapKeepsManifest(t *testing.T) {
+	tier, err := NewBackend("tier", BackendConfig{Dir: t.TempDir(), FrontCap: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tier.(*tierBackend)
+	if err := tier.Put(manifestKey, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tier.Put(key(0, i), make([]byte, 512)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tier.(Drainer).DrainBarrier(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.front.Get(manifestKey); err != nil {
+		t.Fatal("manifest evicted from the front tier")
+	}
+	if ops := tb.Ops(); ops.Evictions == 0 {
+		t.Fatalf("no data blob evicted past the cap: %+v", ops)
+	}
+}
+
+// TestStoreFrontCapRestart runs a whole store over a capped tier
+// backend: evictions must happen, and materialization must still be
+// byte-identical to an unbounded store's — the cap is a performance
+// bound, never a correctness one.
+func TestStoreFrontCapRestart(t *testing.T) {
+	opts := Options{Delta: true, ChunkBytes: 512, ChainCap: 8}
+	plain := MustOpen(2, opts)
+	opts.Backend, opts.Dir, opts.FrontCap = "tier", t.TempDir(), 4<<10
+	capped, err := Open(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 4; gen++ {
+		app := func(r int) []byte { return appState(4096+r*64, gen) }
+		commitGen(t, plain, 2, gen, app)
+		commitGen(t, capped, 2, gen, app)
+	}
+	want, _, err := plain.MaterializeHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := capped.MaterializeHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range want {
+		if !bytes.Equal(want[r], got[r]) {
+			t.Fatalf("rank %d: capped-tier store materialized different bytes", r)
+		}
+	}
+	ops := capped.Backend().(*tierBackend).Ops()
+	if ops.Evictions == 0 {
+		t.Fatalf("4 generations of ~4KB images never overflowed a 4KB front tier: %+v", ops)
+	}
+	if ops.FrontMisses == 0 || ops.Promotions == 0 {
+		t.Fatalf("materializing evicted generations hit no read-through: %+v", ops)
 	}
 }

@@ -114,21 +114,44 @@ func (r *Runtime) doCheckpoint(step int) error {
 
 	// Phase 6: serialize the upper half and write the image, charged
 	// against the storage tier the store's backend actually models.
+	// Under a dedup store the per-rank cost is known only after the
+	// commit (inside the last rank's delivery) has split the generation
+	// into content-addressed segments, so the charge moves past the
+	// completion barrier and covers only the new unique bytes this rank
+	// introduced (ckptstore.CommitCharge) — storing a segment another
+	// rank or an earlier generation already holds costs nothing.
 	data, totalBytes, err := r.buildImage(step)
 	if err != nil {
 		return err
 	}
-	r.clock.Advance(r.ckptFS().WriteCost(totalBytes))
+	dedup := r.co.Store().Dedup()
+	if !dedup {
+		r.clock.Advance(r.ckptFS().WriteCost(totalBytes))
+	}
 	if err := r.co.Deliver(r.rank, data); err != nil {
 		return err
 	}
 
 	// Phase 7: completion barrier so no rank resumes into a half-taken
-	// checkpoint.
+	// checkpoint. Every rank passes it only after the commit returned,
+	// so the unique-byte attribution below is deterministic.
 	r.bnd.Enter()
 	err = r.lower.Barrier(r.manaComm)
 	r.bnd.Leave()
-	return err
+	if err != nil || !dedup {
+		return err
+	}
+	unique := r.co.Store().CommitCharge(r.rank)
+	charged := unique
+	if n := int64(len(data)); n > 0 {
+		// Scale the modeled working-set surcharge (totalBytes beyond the
+		// encoded image) by the fraction of the image actually stored.
+		if extra := totalBytes - n; extra > 0 {
+			charged += int64(float64(extra) * float64(unique) / float64(n))
+		}
+	}
+	r.clock.Advance(r.ckptFS().WriteCost(charged))
+	return nil
 }
 
 // ckptFS resolves the filesystem model checkpoint I/O is charged

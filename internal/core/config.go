@@ -110,6 +110,16 @@ type Config struct {
 	// DeltaImages enables incremental checkpoint images when Store is
 	// nil (ckptstore.Options.Delta on the implicit store).
 	DeltaImages bool
+	// Dedup enables the content-addressed blob layer on the implicit
+	// store (ckptstore.Options.Dedup): identical image segments are
+	// stored once across ranks and generations, and each rank's
+	// checkpoint write is charged for only the new unique bytes it
+	// introduced (ckptstore.CommitCharge) instead of its whole encoded
+	// image. Because the unique-byte attribution is known only after
+	// the commit inside the last rank's delivery, the write charge
+	// lands after the completion barrier. When Store is set, the
+	// store's own Dedup option governs instead.
+	Dedup bool
 	// FixedXlatCost, when positive, replaces the measured virtual-id
 	// translation time each wrapper charges to the rank clock with this
 	// fixed modeled cost. The default (zero, measured) is what lets the
@@ -174,6 +184,7 @@ func (c Config) ckptStoreFor(n int) (*ckptstore.Store, error) {
 	}
 	return ckptstore.Open(n, ckptstore.Options{
 		Delta:        c.DeltaImages,
+		Dedup:        c.Dedup,
 		Compress:     c.CompressImages,
 		CompressTier: c.CompressTier,
 		Workers:      c.Workers,
