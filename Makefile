@@ -115,6 +115,18 @@ race-ckpt:
 	@echo "Running the checkpoint subsystem under the race detector..."
 	@$(GO) test -race ./internal/ckptstore/... ./internal/ckptimg/... ./internal/ckpt/...
 
+# race-faults covers the fault-injection layer end to end: the injector
+# itself, the faulted wrapper path and crash/restart battery in core
+# (crash-at-every-step, ctl-loss reliable drain, cross-impl recovery),
+# and the long-horizon service loop whose restarts re-enter the store
+# while the adaptive controller mutates its history.
+.PHONY: race-faults
+race-faults:
+	@echo "Running the fault-injection layer under the race detector..."
+	@$(GO) test -race ./internal/faults/...
+	@$(GO) test -race -run 'TestFaultBattery|TestCrash|TestCtl|TestStraggler' ./internal/core
+	@$(GO) test -race -run 'TestService|TestAdaptiveInterval|TestYoungDaly' ./internal/harness
+
 .PHONY: bench-figures
 bench-figures:
 	@echo "Regenerating the paper figures via benchmarks..."
@@ -130,3 +142,7 @@ experiments:
 .PHONY: experiment-drain
 experiment-drain:
 	@$(GO) run ./cmd/manasim experiment -name drain
+
+.PHONY: experiment-service
+experiment-service:
+	@$(GO) run ./cmd/manasim experiment -name service

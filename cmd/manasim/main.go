@@ -22,6 +22,7 @@ import (
 	"manasim/internal/ckptstore"
 	"manasim/internal/cluster"
 	mana "manasim/internal/core"
+	"manasim/internal/faults"
 	"manasim/internal/harness"
 	"manasim/internal/impls"
 	"manasim/internal/mpi"
@@ -105,12 +106,25 @@ run flags:
   -kernel  simulation kernel: goroutine (default; one goroutine per rank)
            or event (virtual-time event queue; deterministic, detects
            deadlock, scales to thousands of ranks)
+  -faults  enable the seeded fault injector (-fault-seed N, default 42);
+           without -mtbf this injects stragglers and transient store
+           faults into a single run
+  -mtbf    mean time between injected node crashes (virtual time, e.g.
+           30s): runs the long-horizon service loop — every crash
+           restarts from the newest complete store generation, and lost
+           work plus restart time are charged to the service clock
+  -ckpt-interval  periodic checkpoint interval: a duration enables
+           interval-driven checkpoints on any run; "adaptive" (with
+           -mtbf) re-derives the Young/Daly interval sqrt(2*MTBF*C)
+           from observed crash history
 
 experiment flags:
   -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta,
-           backends, dedup, or all (drain also sweeps ranks 64-1024
-           under the event kernel; dedup sweeps rank counts x apps x
-           codecs over plain and content-addressed stores)
+           backends, dedup, service, or all (drain also sweeps ranks
+           64-1024 under the event kernel; dedup sweeps rank counts x
+           apps x codecs over plain and content-addressed stores;
+           service compares checkpoint-interval policies by goodput
+           under an MTBF-parameterized crash process)
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
 `)
@@ -164,6 +178,10 @@ func cmdRun(args []string) error {
 	workers := fs.Int("workers", 0, "checkpoint store worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	siteName := fs.String("site", "discovery", "site profile")
 	kernelName := fs.String("kernel", "", "simulation kernel: goroutine (default) or event")
+	useFaults := fs.Bool("faults", false, "enable the seeded fault injector")
+	faultSeed := fs.Int64("fault-seed", 42, "fault timeline seed with -faults")
+	mtbf := fs.Duration("mtbf", 0, "mean time between injected node crashes (virtual time); runs the long-horizon service loop with restart-from-store")
+	ckptInterval := fs.String("ckpt-interval", "", "periodic checkpoint interval: a duration, or \"adaptive\" for the MTBF-adaptive Young/Daly controller (needs -mtbf)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,6 +216,51 @@ func cmdRun(args []string) error {
 		in.Steps = *steps
 		in.SimSteps = *steps
 	}
+	// -ckpt-interval: a plain duration enables periodic checkpointing on
+	// any run; "adaptive" selects the MTBF-adaptive controller of the
+	// service loop and therefore needs -mtbf.
+	adaptive := false
+	var interval time.Duration
+	if *ckptInterval != "" {
+		if *ckptInterval == "adaptive" {
+			adaptive = true
+			if *mtbf <= 0 {
+				return fmt.Errorf("-ckpt-interval=adaptive needs -mtbf (the controller adapts to a crash process)")
+			}
+		} else {
+			d, err := time.ParseDuration(*ckptInterval)
+			if err != nil {
+				return fmt.Errorf("-ckpt-interval: %w", err)
+			}
+			interval = d
+		}
+	}
+
+	// -mtbf runs the long-horizon service loop: the job under the
+	// injector's crash process, restarted from the checkpoint store after
+	// every crash until it completes.
+	if *mtbf > 0 {
+		out, err := harness.RunService(harness.ServiceSpec{
+			App: *appName, Impl: *implName,
+			Ranks: in.Ranks, Steps: in.SimSteps,
+			Seed: *faultSeed, MTBF: *mtbf, Crashes: 6,
+			Interval: interval, Adaptive: adaptive,
+			InitialInterval: *mtbf / 4,
+			Kernel:          kern,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("service %s/%s: %d ranks, MTBF=%v, policy=%s\n", *appName, *implName, in.Ranks, *mtbf, out.Policy)
+		fmt.Printf("  goodput=%.3f  total=%.2fms useful=%.2fms lost=%.2fms\n", out.Goodput, out.TotalVTS*1e3, out.BaselineVTS*1e3, out.LostVTS*1e3)
+		fmt.Printf("  crashes=%d restarts=%d ckpts=%d final-interval=%.2fms (est MTBF %.2fms, ckpt cost %.2fms)\n",
+			out.Crashes, out.Restarts, out.Ckpts, out.IntervalS*1e3, out.MTBFEstS*1e3, out.CkptCostS*1e3)
+		return nil
+	}
+
 	cfg := mana.Config{
 		ImplName:       *implName,
 		Factory:        factory,
@@ -209,6 +272,21 @@ func cmdRun(args []string) error {
 		DeltaImages:    *delta,
 		Workers:        *workers,
 		Kernel:         kern,
+		CkptInterval:   interval,
+	}
+	if *useFaults {
+		// Without a crash process, -faults demonstrates non-fatal
+		// injection on a single run: straggler windows plus transient
+		// store faults retried by the checkpoint store.
+		cfg.Faults = faults.NewInjector(in.Ranks, faults.Plan{
+			Seed:        *faultSeed,
+			Stragglers:  2,
+			StoreFaults: 2,
+			// A single run usually commits one generation; keep the
+			// scheduled store-fault keys inside it so the retry path
+			// actually fires.
+			StoreMaxGen: 1,
+		})
 	}
 	if *legacy {
 		cfg.Design = mana.DesignLegacy
@@ -263,6 +341,9 @@ func cmdRun(args []string) error {
 			return err
 		}
 		report(*appName, "MANA/"+*implName, st, in, start)
+		if cfg.Faults != nil {
+			reportFaults(cfg.Faults, st)
+		}
 		return nil
 	}
 
@@ -278,6 +359,9 @@ func cmdRun(args []string) error {
 		return err
 	}
 	report(*appName, "MANA/"+*implName, st, in, start)
+	if cfg.Faults != nil {
+		reportFaults(cfg.Faults, st)
+	}
 	store := s.Store()
 	images, chains, err := store.MaterializeHead()
 	if err != nil {
@@ -337,6 +421,20 @@ func cmdRun(args []string) error {
 	}
 	report(*appName, "restart MANA/"+*restartImpl, rst, in, start)
 	return nil
+}
+
+// reportFaults summarizes what the injector actually did to a single
+// run; without it -faults is indistinguishable from a clean run (the
+// straggler windows are milliseconds against multi-second VTs).
+func reportFaults(inj *faults.Injector, st mana.Stats) {
+	p := inj.Plan()
+	fmt.Printf("faults[seed %d]: %d stragglers (x%g for %v), %d store ops failed (%d retried, %v backoff)",
+		p.Seed, p.Stragglers, p.StragglerFactor, p.StragglerWindow,
+		inj.StoreFaultsHit(), st.StoreRetries, st.StoreRetryVT)
+	if d, r := inj.CtlDropped(), inj.CtlDelayed(); d+r > 0 {
+		fmt.Printf(", ctl dropped=%d delayed=%d", d, r)
+	}
+	fmt.Println()
 }
 
 func report(appName, mode string, st mana.Stats, in apps.Input, start time.Time) {
@@ -434,13 +532,19 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteDedup(os.Stdout, rows)
+		case "service":
+			res, err := harness.Service(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteService(os.Stdout, res)
 		default:
 			return fmt.Errorf("unknown experiment %q", n)
 		}
 		return nil
 	}
 	if *name == "all" {
-		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends", "dedup"} {
+		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends", "dedup", "service"} {
 			if err := run(n); err != nil {
 				return err
 			}

@@ -18,6 +18,16 @@ const TagAnnounce = 1
 // counter announcements on the internal communicator.
 const TagDrainCounters = 2
 
+// TagDrainAck acknowledges a received counter announcement under the
+// reliable drain protocol. Acks are never dropped by the fault
+// injector: only the first transmission of a counter row is lossy, so
+// the timeout-and-resend recovery terminates.
+const TagDrainAck = 3
+
+// TagDrainResend carries a retransmitted counter row after an ack
+// timeout. Resends, like acks, are exempt from injected loss.
+const TagDrainResend = 4
+
 // DoubleDeliverError reports a rank delivering two images into the same
 // checkpoint generation — a protocol violation that previously
 // overwrote the first image silently.
@@ -219,8 +229,14 @@ func (c *Coordinator) NextBoundary(link CtlLink, rank, step, total, pending int)
 		c.announced.Store(true)
 	}
 
-	// Non-root ranks poll for an announcement while one is in flight.
-	if pending < 0 && rank != 0 && c.announced.Load() {
+	// Non-root ranks poll for an announcement at every safe point. The
+	// poll is deliberately not gated on c.announced: with periodic
+	// checkpoints, a rank still finishing generation k calls
+	// CheckpointDone — clearing the flags — after rank 0 has already
+	// announced generation k+1, and a flag-gated poll would miss that
+	// announcement forever (the announcing rank then parks alone in the
+	// next drain: deadlock). The message's presence is the ground truth.
+	if pending < 0 && rank != 0 {
 		ok, _, err := link.CtlIprobe(0, TagAnnounce)
 		if err != nil {
 			return pending, err

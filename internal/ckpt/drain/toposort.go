@@ -38,7 +38,22 @@ func (*TopoSort) Name() string { return "toposort" }
 func (s *TopoSort) Order() []int { return s.order }
 
 // Drain implements ckpt.DrainStrategy.
-func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
+//
+// With control-message faults armed the incremental row-by-row drain is
+// replaced by the reliable exchange: first collect the complete counter
+// matrix under the timeout-and-resend protocol, then pull everything in
+// the topological order of the full matrix. Incremental pulling is
+// pointless under loss — a dropped announcement would stall the partial
+// order anyway — and the reliable exchange already proves all pre-cut
+// traffic probeable when it returns.
+func (s *TopoSort) Drain(env ckpt.DrainEnv) (err error) {
+	// The phase survives an error return: the deadlock diagnostic reports
+	// where each rank was when the job went down.
+	defer func() {
+		if err == nil {
+			ckpt.SetPhase(env, "done")
+		}
+	}()
 	n, me := env.Size(), env.Rank()
 	sent := env.SentTo()
 	mine := make([]int64, n)
@@ -53,6 +68,15 @@ func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
 	// Snapshot receive counters before any Pull mutates them.
 	recvBase := append([]uint64(nil), env.RecvFrom()...)
 
+	if rel, ok := reliableArmed(env); ok {
+		matrix, err := reliableRows(env, rel, mine)
+		if err != nil {
+			return fmt.Errorf("drain/toposort: reliable counter exchange: %w", err)
+		}
+		return s.drainFull(env, matrix, recvBase)
+	}
+
+	ckpt.SetPhase(env, "toposort:announce")
 	// Announce this rank's counters to every peer. The announcement is
 	// deposited after the rank's last pre-cut application send, so a
 	// peer holding our row knows our traffic toward it is complete and
@@ -91,6 +115,7 @@ func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
 	// traffic itself.
 	var order []int
 	for have < n || outstanding > 0 {
+		ckpt.SetPhase(env, fmt.Sprintf("toposort:drain rows=%d/%d outstanding=%d", have, n, outstanding))
 		progressed := false
 
 		// Absorb whatever counter announcements have arrived.
@@ -160,6 +185,35 @@ func (s *TopoSort) Drain(env ckpt.DrainEnv) error {
 	}
 	// The loop exits only with every row absorbed, so the cached order
 	// is the order of the complete matrix.
+	s.order = order
+	return nil
+}
+
+// drainFull pulls against a complete counter matrix (the reliable-path
+// epilogue): compute per-peer expectations from the matrix and the
+// receive snapshot, then pull in topological order.
+func (s *TopoSort) drainFull(env ckpt.DrainEnv, matrix [][]int64, recvBase []uint64) error {
+	n, me := env.Size(), env.Rank()
+	comms, err := env.Comms()
+	if err != nil {
+		return err
+	}
+	expect := make([]int64, n)
+	for p, row := range matrix {
+		expect[p] = row[me] - int64(recvBase[p])
+		if expect[p] < 0 {
+			return fmt.Errorf("drain/toposort: counter underflow from rank %d: sent %d, received %d", p, row[me], recvBase[p])
+		}
+	}
+	order := orderOf(matrix)
+	ckpt.SetPhase(env, "toposort:pull")
+	for _, w := range order {
+		for pulled := int64(0); pulled < expect[w]; pulled++ {
+			if err := s.pullFrom(env, comms, w); err != nil {
+				return err
+			}
+		}
+	}
 	s.order = order
 	return nil
 }

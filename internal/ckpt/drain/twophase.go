@@ -22,10 +22,44 @@ type TwoPhase struct{}
 func (*TwoPhase) Name() string { return "twophase" }
 
 // Drain implements ckpt.DrainStrategy.
-func (*TwoPhase) Drain(env ckpt.DrainEnv) error {
-	theirSent, err := env.ExchangeAll(env.SentTo())
-	if err != nil {
-		return fmt.Errorf("drain/twophase: counter exchange: %w", err)
+//
+// When the environment reports armed control-message faults, phase one
+// runs the reliable point-to-point row exchange instead of the
+// MPI_Alltoall: the collective's completion proof does not survive a
+// dropped counter message, while the reliable exchange's all-rows +
+// all-acks exit condition proves the same cut property (every peer
+// announced after its last pre-cut send) under loss.
+func (*TwoPhase) Drain(env ckpt.DrainEnv) (err error) {
+	// The phase survives an error return: the deadlock diagnostic reports
+	// where each rank was when the job went down.
+	defer func() {
+		if err == nil {
+			ckpt.SetPhase(env, "done")
+		}
+	}()
+	ckpt.SetPhase(env, "twophase:exchange")
+	var theirSent []uint64
+	if rel, ok := reliableArmed(env); ok && env.Size() > 1 {
+		sent := env.SentTo()
+		mine := make([]int64, len(sent))
+		for p, v := range sent {
+			mine[p] = int64(v)
+		}
+		matrix, err := reliableRows(env, rel, mine)
+		if err != nil {
+			return fmt.Errorf("drain/twophase: reliable counter exchange: %w", err)
+		}
+		me := env.Rank()
+		theirSent = make([]uint64, env.Size())
+		for p, row := range matrix {
+			theirSent[p] = uint64(row[me])
+		}
+	} else {
+		var err error
+		theirSent, err = env.ExchangeAll(env.SentTo())
+		if err != nil {
+			return fmt.Errorf("drain/twophase: counter exchange: %w", err)
+		}
 	}
 
 	recvFrom := env.RecvFrom()
@@ -42,6 +76,7 @@ func (*TwoPhase) Drain(env ckpt.DrainEnv) error {
 		return nil
 	}
 
+	ckpt.SetPhase(env, "twophase:pull")
 	comms, err := env.Comms()
 	if err != nil {
 		return err

@@ -306,7 +306,7 @@ func (s *Store) assembleRecipe(seq, rank int, recipe []byte) ([]byte, dedupRead,
 	var dr dedupRead
 	out := make([]byte, 0, total)
 	for i, bk := range keys {
-		seg, err := s.b.Get(bk)
+		seg, err := s.bGet(bk)
 		if err != nil {
 			if seq < s.PrunedBefore() {
 				return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", seq, ErrPruned)

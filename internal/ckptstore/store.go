@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"manasim/internal/ckptimg"
 	"manasim/internal/fsim"
@@ -84,6 +85,11 @@ type Options struct {
 	// per-rank decode/index/backend work out to (0 = GOMAXPROCS; 1 =
 	// serial).
 	Workers int
+	// WrapBackend, when set, decorates the backend right after
+	// construction — the fault injector's hook for making Put/Get
+	// flaky. The store's retry and rollback paths see only the wrapped
+	// backend.
+	WrapBackend func(Backend) Backend
 }
 
 // withDefaults fills unset fields.
@@ -181,6 +187,13 @@ type ChainStats struct {
 	// that fell back to batch resolution (non-v3 base) reports it
 	// false.
 	Streamed bool
+	// ResidualOrphans is the store-wide count of blobs that should be
+	// gone but could not be deleted — rollback or orphan-sweep deletes
+	// that kept failing after the bounded retry pass. It is a snapshot
+	// of the store counter at materialize time (same value on every
+	// rank), making Open's crash-resume sweep observable to callers
+	// that only see read results.
+	ResidualOrphans int
 }
 
 // ChainLinkError reports that one link of a rank's base+delta chain
@@ -260,6 +273,104 @@ type Store struct {
 	// lastUnique is the per-rank byte attribution of the most recent
 	// commit (CommitCharge).
 	lastUnique []int64
+
+	// retryMu guards the retry/orphan counters: retried operations run
+	// on the commit worker pool and on lock-free materialize paths.
+	retryMu sync.Mutex
+	retry   RetryStats
+	orphans int
+}
+
+// RetryStats aggregates the store's transient-failure recovery work:
+// how many backend operations were retried, the cumulative modeled
+// backoff time, and how many operations failed permanently.
+type RetryStats struct {
+	// Retries counts individual retry attempts across all operations.
+	Retries int
+	// BackoffVT is the total modeled backoff wait. The store has no
+	// clock of its own; callers fold this into their virtual-time
+	// accounting (the checkpoint path charges it to the committing
+	// rank).
+	BackoffVT time.Duration
+	// Permanent counts operations that failed with a non-transient
+	// error or exhausted the retry budget.
+	Permanent int
+}
+
+// retryAttempts bounds the transient-failure retry loop per operation:
+// the first try plus up to three retries.
+const retryAttempts = 4
+
+// transientErr reports whether err advertises itself as retryable via
+// a Transient() method (the fault injector's StoreError does).
+func transientErr(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// retryOp runs one backend operation under the bounded
+// exponential-backoff retry policy and accounts the recovery work.
+func (s *Store) retryOp(fn func() error) error {
+	fs := s.b.CostModel()
+	var err error
+	for attempt := 1; attempt <= retryAttempts; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if !transientErr(err) || attempt == retryAttempts {
+			break
+		}
+		s.retryMu.Lock()
+		s.retry.Retries++
+		s.retry.BackoffVT += fs.RetryBackoff(attempt)
+		s.retryMu.Unlock()
+	}
+	s.retryMu.Lock()
+	s.retry.Permanent++
+	s.retryMu.Unlock()
+	return err
+}
+
+// bPut is Backend.Put under the retry policy.
+func (s *Store) bPut(key string, data []byte) error {
+	return s.retryOp(func() error { return s.b.Put(key, data) })
+}
+
+// bGet is Backend.Get under the retry policy.
+func (s *Store) bGet(key string) ([]byte, error) {
+	var data []byte
+	err := s.retryOp(func() error {
+		var e error
+		data, e = s.b.Get(key)
+		return e
+	})
+	return data, err
+}
+
+// Retry reports the accumulated transient-failure recovery statistics.
+func (s *Store) Retry() RetryStats {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return s.retry
+}
+
+// ResidualOrphans reports how many blobs remain that every cleanup
+// attempt — rollback plus its retry pass, or Open's orphan sweep —
+// failed to delete.
+func (s *Store) ResidualOrphans() int {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	return s.orphans
+}
+
+// addOrphans records n blobs leaked past cleanup.
+func (s *Store) addOrphans(n int) {
+	if n <= 0 {
+		return
+	}
+	s.retryMu.Lock()
+	s.orphans += n
+	s.retryMu.Unlock()
 }
 
 // Open builds a store for an n-rank job over the configured backend.
@@ -277,6 +388,9 @@ func Open(n int, o Options) (*Store, error) {
 	b, err := NewBackend(o.Backend, BackendConfig{Dir: o.Dir, Front: o.FrontTier, Back: o.BackTier, FrontCap: o.FrontCap})
 	if err != nil {
 		return nil, err
+	}
+	if o.WrapBackend != nil {
+		b = o.WrapBackend(b)
 	}
 	s := &Store{b: b, n: n, opts: o, index: make([]rankIndex, n)}
 	if o.Dedup {
@@ -335,6 +449,7 @@ func (s *Store) pruneOrphans(resumed bool) error {
 		}
 		if seq >= head {
 			if err := s.b.Delete(k); err != nil {
+				s.addOrphans(1)
 				errs = append(errs, fmt.Errorf("ckptstore: pruning orphan %q: %w", k, err))
 			}
 		}
@@ -350,6 +465,7 @@ func (s *Store) pruneOrphans(resumed bool) error {
 		// in Open instead).
 		for _, bk := range contentBlobs {
 			if err := s.b.Delete(bk); err != nil {
+				s.addOrphans(1)
 				errs = append(errs, fmt.Errorf("ckptstore: pruning orphan blob %q: %w", bk, err))
 			}
 		}
@@ -544,16 +660,16 @@ func (s *Store) Commit(images [][]byte) (Generation, error) {
 		if err := forEachRank(len(plan.newBlobs)+s.n, s.opts.Workers, func(i int) error {
 			if i < len(plan.newBlobs) {
 				nb := plan.newBlobs[i]
-				return s.b.Put(nb.key, nb.data)
+				return s.bPut(nb.key, nb.data)
 			}
 			r := i - len(plan.newBlobs)
-			return s.b.Put(key(seq, r), plan.recipes[r])
+			return s.bPut(key(seq, r), plan.recipes[r])
 		}); err != nil {
 			return Generation{}, errors.Join(err, s.discardDedup(seq, plan.newBlobs))
 		}
 		s.applyRefs(plan.added)
 	} else if err := forEachRank(s.n, s.opts.Workers, func(r int) error {
-		return s.b.Put(key(seq, r), images[r])
+		return s.bPut(key(seq, r), images[r])
 	}); err != nil {
 		return Generation{}, errors.Join(err, s.discardGeneration(seq))
 	}
@@ -625,15 +741,31 @@ func (s *Store) LastRetentionErr() error {
 }
 
 // discardGeneration removes every blob a failed commit may have written
-// for seq, aggregating delete failures — a rollback that leaks blobs
-// must not report success. The caller holds s.mu.
+// for seq. Deletes that fail get one bounded retry pass; blobs that
+// survive it are counted as residual orphans (ResidualOrphans,
+// ChainStats.ResidualOrphans) and reported in the aggregated error — a
+// rollback that leaks blobs must not report success, and the next
+// Open's orphan sweep is the recovery of last resort. The caller holds
+// s.mu.
 func (s *Store) discardGeneration(seq int) error {
-	var errs []error
+	var failed []int
 	for r := 0; r < s.n; r++ {
 		if err := s.b.Delete(key(seq, r)); err != nil {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) == 0 {
+		return nil
+	}
+	var errs []error
+	residual := 0
+	for _, r := range failed {
+		if err := s.b.Delete(key(seq, r)); err != nil {
+			residual++
 			errs = append(errs, fmt.Errorf("ckptstore: discarding generation %d rank %d: %w", seq, r, err))
 		}
 	}
+	s.addOrphans(residual)
 	return errors.Join(errs...)
 }
 
@@ -710,7 +842,7 @@ func (s *Store) persistManifest() error {
 	}); err != nil {
 		return fmt.Errorf("ckptstore: encoding manifest: %w", err)
 	}
-	return s.b.Put(manifestKey, buf.Bytes())
+	return s.bPut(manifestKey, buf.Bytes())
 }
 
 // Generations lists the committed generations in order.
@@ -761,6 +893,10 @@ func (s *Store) Materialize(seq int) ([][]byte, []ChainStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	orphans := s.ResidualOrphans()
+	for r := range stats {
+		stats[r].ResidualOrphans = orphans
+	}
 	return out, stats, nil
 }
 
@@ -783,7 +919,7 @@ func (s *Store) MaterializeHead() ([][]byte, []ChainStats, error) {
 // verified blob-by-blob — into the exact original encoded image; the
 // dedupRead reports how much of it came through shared blobs.
 func (s *Store) getBlob(seq, rank int) ([]byte, dedupRead, error) {
-	data, err := s.b.Get(key(seq, rank))
+	data, err := s.bGet(key(seq, rank))
 	if err != nil {
 		if seq < s.PrunedBefore() {
 			return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", seq, ErrPruned)

@@ -60,6 +60,10 @@ func (s *Store) MaterializeStream(seq int) ([]*ckptimg.Image, []ChainStats, erro
 	if err != nil {
 		return nil, nil, err
 	}
+	orphans := s.ResidualOrphans()
+	for r := range stats {
+		stats[r].ResidualOrphans = orphans
+	}
 	return out, stats, nil
 }
 

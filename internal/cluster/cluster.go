@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -105,6 +106,51 @@ type Job struct {
 	errs    []error
 	wg      sync.WaitGroup
 	started time.Time
+
+	// phaseMu guards phases, the per-rank drain-protocol phase board the
+	// stall diagnostic reads while rank goroutines are still writing it.
+	phaseMu sync.Mutex
+	phases  []string
+}
+
+// SetRankPhase records rank's current drain-protocol phase ("" clears
+// it). The checkpoint layer posts phases so that a deadlock diagnostic
+// can say where each parked rank was, not just that it was parked.
+func (j *Job) SetRankPhase(rank int, phase string) {
+	if rank < 0 || rank >= j.n {
+		return
+	}
+	j.phaseMu.Lock()
+	j.phases[rank] = phase
+	j.phaseMu.Unlock()
+}
+
+// rankPhases renders the non-empty phase entries for the deadlock
+// diagnostic, e.g. "rank 0: reliable:absorb rows=3/4 acks=2/4".
+func (j *Job) rankPhases() string {
+	j.phaseMu.Lock()
+	defer j.phaseMu.Unlock()
+	out := ""
+	for r, p := range j.phases {
+		if p == "" || p == "done" {
+			continue
+		}
+		if out != "" {
+			out += "; "
+		}
+		out += fmt.Sprintf("rank %d: %s", r, p)
+	}
+	if out == "" {
+		return "no rank reported a drain phase"
+	}
+	return out
+}
+
+// crashError matches the fault injector's typed node-crash failure
+// without importing it: the contract is the CrashVT method.
+type crashError interface {
+	error
+	CrashVT() time.Duration
 }
 
 // New builds a job with n ranks over a fresh fabric, instantiating the
@@ -126,6 +172,7 @@ func NewKernel(n int, factory Factory, net simtime.NetModel, kind KernelKind) *J
 		Procs:  make([]mpi.Proc, n),
 		n:      n,
 		errs:   make([]error, n),
+		phases: make([]string, n),
 	}
 	if kind == KernelEvent {
 		j.kern = kernel.New(n)
@@ -209,10 +256,24 @@ func (j *Job) WaitResult() (Result, error) {
 		if j.errs[r] != nil {
 			inner := j.errs[r]
 			if j.kern != nil && j.kern.Stalled() {
-				inner = fmt.Errorf("event-kernel deadlock (every rank blocked with no message in flight): %w", inner)
+				inner = fmt.Errorf("event-kernel deadlock (every rank blocked with no message in flight; %s): %w", j.rankPhases(), inner)
 			}
 			err = &RankError{Rank: r, Err: inner}
 			break
+		}
+	}
+	// An injected node crash tears down the fabric, so peers fail with
+	// transport-closed errors; the crash itself is the root cause and is
+	// preferred over a lower-ranked peer's secondary failure.
+	if err != nil {
+		var ce crashError
+		if !errors.As(err, &ce) {
+			for r := 0; r < j.n; r++ {
+				if j.errs[r] != nil && errors.As(j.errs[r], &ce) {
+					err = &RankError{Rank: r, Err: j.errs[r]}
+					break
+				}
+			}
 		}
 	}
 	j.Fabric.Close()

@@ -228,3 +228,50 @@ func TestAbortInstalled(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStallDiagnosticReportsPhases: when the event kernel detects a
+// deadlock, the error names each parked rank's last reported
+// drain-protocol phase; ranks whose phase is cleared or "done" are
+// omitted.
+func TestStallDiagnosticReportsPhases(t *testing.T) {
+	j := NewKernel(3, fakeFactory, simtime.NetModel{}, KernelEvent)
+	j.Start(func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		switch rank {
+		case 0:
+			j.SetRankPhase(0, "twophase:exchange")
+		case 1:
+			j.SetRankPhase(1, "reliable:absorb rows=2/3")
+		case 2:
+			j.SetRankPhase(2, "done")
+		}
+		_, err := j.Fabric.Endpoint(rank).Recv(transport.Match{Context: 1, Src: transport.AnySource, Tag: 0})
+		return err
+	})
+	_, err := j.WaitResult()
+	if err == nil {
+		t.Fatal("deadlocked job reported success")
+	}
+	msg := err.Error()
+	for _, want := range []string{"rank 0: twophase:exchange", "rank 1: reliable:absorb rows=2/3"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("diagnostic %q missing %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "rank 2") {
+		t.Fatalf("diagnostic %q includes the finished rank", msg)
+	}
+}
+
+// TestStallDiagnosticWithoutPhases: a deadlock outside any drain keeps
+// the fallback wording instead of an empty phase list.
+func TestStallDiagnosticWithoutPhases(t *testing.T) {
+	j := NewKernel(2, fakeFactory, simtime.NetModel{}, KernelEvent)
+	j.Start(func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+		_, err := j.Fabric.Endpoint(rank).Recv(transport.Match{Context: 1, Src: transport.AnySource, Tag: 0})
+		return err
+	})
+	_, err := j.WaitResult()
+	if err == nil || !strings.Contains(err.Error(), "no rank reported a drain phase") {
+		t.Fatalf("fallback wording missing: %v", err)
+	}
+}

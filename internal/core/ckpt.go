@@ -45,8 +45,23 @@ func (r *Runtime) SetSnapshotFns(snapshot func() ([]byte, error), footprint func
 // after checkpointing.
 func (r *Runtime) AtBoundary(step, total int) error {
 	r.stepNow = step
+	if f := r.cfg.Faults; f != nil {
+		f.StepStart(r.rank, step)
+		if err := f.CheckBoundary(r.rank, r.clock.Now()); err != nil {
+			return err
+		}
+	}
 	if r.co == nil {
 		return nil
+	}
+	// Periodic checkpointing: rank 0 requests an asynchronous checkpoint
+	// once CkptInterval of virtual time has passed since the last one.
+	// The request is skipped while a boundary is already agreed
+	// (ckptAtStep >= 0) and at the final boundary, where there are no
+	// steps left to align on.
+	if r.rank == 0 && r.cfg.CkptInterval > 0 && r.ckptAtStep < 0 && step < total &&
+		r.clock.Now()-r.lastCkptVT >= r.cfg.CkptInterval {
+		r.co.RequestCheckpoint()
 	}
 	target, err := r.co.NextBoundary(ctlLink{r}, r.rank, step, total, r.ckptAtStep)
 	if err != nil {
@@ -72,6 +87,8 @@ func (r *Runtime) doCheckpoint(step int) error {
 	if r.snapshotFn == nil {
 		return fmt.Errorf("mana: no application snapshot hook installed")
 	}
+	ckptStart := r.clock.Now()
+	r.ckptEpoch++
 
 	// Phase 1: complete pending receive requests in place. Their
 	// matching sends were issued before the senders' cuts, so the
@@ -138,19 +155,25 @@ func (r *Runtime) doCheckpoint(step int) error {
 	r.bnd.Enter()
 	err = r.lower.Barrier(r.manaComm)
 	r.bnd.Leave()
-	if err != nil || !dedup {
+	if err != nil {
 		return err
 	}
-	unique := r.co.Store().CommitCharge(r.rank)
-	charged := unique
-	if n := int64(len(data)); n > 0 {
-		// Scale the modeled working-set surcharge (totalBytes beyond the
-		// encoded image) by the fraction of the image actually stored.
-		if extra := totalBytes - n; extra > 0 {
-			charged += int64(float64(extra) * float64(unique) / float64(n))
+	if dedup {
+		unique := r.co.Store().CommitCharge(r.rank)
+		charged := unique
+		if n := int64(len(data)); n > 0 {
+			// Scale the modeled working-set surcharge (totalBytes beyond the
+			// encoded image) by the fraction of the image actually stored.
+			if extra := totalBytes - n; extra > 0 {
+				charged += int64(float64(extra) * float64(unique) / float64(n))
+			}
 		}
+		r.clock.Advance(r.ckptFS().WriteCost(charged))
 	}
-	r.clock.Advance(r.ckptFS().WriteCost(charged))
+	now := r.clock.Now()
+	r.ckptVTs = append(r.ckptVTs, now)
+	r.ckptCosts = append(r.ckptCosts, now-ckptStart)
+	r.lastCkptVT = now
 	return nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"manasim/internal/ckptimg"
 	"manasim/internal/ckptstore"
 	"manasim/internal/cluster"
+	"manasim/internal/faults"
 	"manasim/internal/fsim"
 	"manasim/internal/simtime"
 	"manasim/internal/vid"
@@ -138,6 +139,20 @@ type Config struct {
 	// 1024-rank drain sweeps run on. core, harness, and the
 	// checkpoint/drain paths run unchanged on either kernel.
 	Kernel cluster.KernelKind
+	// Faults is the seeded fault injector driving this job (nil: no
+	// faults). The runtime checks its crash schedule at every wrapper
+	// call and step boundary, applies its straggler windows to the rank
+	// clocks, and registers the internal communicator's context for the
+	// control-message filter; the job layer validates the kernel choice
+	// and attaches the transport filter. One injector may be shared by a
+	// whole service run spanning restarts — its schedule lives in
+	// cumulative service virtual time.
+	Faults *faults.Injector
+	// CkptInterval, when positive, checkpoints periodically: rank 0
+	// requests an asynchronous checkpoint whenever that much virtual
+	// time has passed since the last completed one. This is the knob the
+	// MTBF-adaptive interval controller turns between restart attempts.
+	CkptInterval time.Duration
 	// StreamRestart selects the chunk-pipelined restart path:
 	// RestartFromStore resolves each rank's base+delta chain with
 	// newest-wins chunk ownership (ckptstore.MaterializeStream), so
@@ -182,12 +197,17 @@ func (c Config) ckptStoreFor(n int) (*ckptstore.Store, error) {
 		}
 		return c.Store, nil
 	}
+	var wrap func(ckptstore.Backend) ckptstore.Backend
+	if c.Faults != nil {
+		wrap = c.Faults.WrapBackend()
+	}
 	return ckptstore.Open(n, ckptstore.Options{
 		Delta:        c.DeltaImages,
 		Dedup:        c.Dedup,
 		Compress:     c.CompressImages,
 		CompressTier: c.CompressTier,
 		Workers:      c.Workers,
+		WrapBackend:  wrap,
 	})
 }
 

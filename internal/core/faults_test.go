@@ -1,0 +1,330 @@
+package mana
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"manasim/internal/apps"
+	"manasim/internal/cluster"
+	"manasim/internal/faults"
+	"manasim/internal/impls"
+)
+
+// batteryApp pairs each implementation with a workload it supports
+// (ExaMPI runs the compatible subset, as in the drain experiment).
+func batteryApp(implName string) string {
+	if implName == "exampi" {
+		return "comd"
+	}
+	return "lammps"
+}
+
+// faultCfg builds a fixed-cost config with the given injector so
+// virtual times are bit-reproducible across kernels.
+func faultCfg(t *testing.T, implName string, kind cluster.KernelKind, inj *faults.Injector) Config {
+	t.Helper()
+	factory, err := impls.Get(implName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		ImplName:      implName,
+		Factory:       factory,
+		Kernel:        kind,
+		FixedXlatCost: 50 * time.Nanosecond,
+		Faults:        inj,
+	}
+}
+
+// batteryInput is the battery's small deterministic workload.
+func batteryInput(t *testing.T, appName string, seed uint64) (apps.Spec, apps.Input) {
+	t.Helper()
+	spec, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = 4
+	in.SimSteps = 6
+	in.PollsPerStep = 4
+	in.Seed = seed
+	return spec, in
+}
+
+// batteryPlan is the non-crash fault mix of the determinism battery: a
+// straggler window covering the whole run and a transient store fault
+// on a first-generation blob. Both are kernel-independent by design —
+// straggler windows live on the rank clock, and store retry backoff is
+// surfaced in Stats instead of being charged to a (kernel-dependent)
+// committing rank.
+func batteryPlan(seed int64) faults.Plan {
+	return faults.Plan{
+		Seed: seed,
+		Events: []faults.Event{
+			{Kind: faults.Straggler, Rank: 1, At: 0, Window: time.Hour, Factor: 2, Step: -1},
+			{Kind: faults.StoreFault, Key: "gen0000/rank01", Ops: 1, Step: -1},
+		},
+	}
+}
+
+// TestFaultBatteryKernelsAndImpls is the multi-seed determinism
+// battery: for every implementation and seed, a checkpointing run under
+// the same fault plan must produce a byte-identical fault timeline and
+// byte-identical Stats on the goroutine and event kernels. Crashes are
+// excluded here (a torn-down job's surviving-rank clocks are teardown
+// noise); the service-level crash determinism check lives in the
+// harness tests.
+func TestFaultBatteryKernelsAndImpls(t *testing.T) {
+	for _, implName := range impls.Names() {
+		t.Run(implName, func(t *testing.T) {
+			appName := batteryApp(implName)
+			for _, seed := range []int64{7, 21} {
+				wantTimeline := faults.NewInjector(4, batteryPlan(seed)).Timeline()
+				run := func(kind cluster.KernelKind) Stats {
+					inj := faults.NewInjector(4, batteryPlan(seed))
+					if got := inj.Timeline(); got != wantTimeline {
+						t.Fatalf("seed %d: timeline diverged:\n%s\nvs\n%s", seed, got, wantTimeline)
+					}
+					spec, in := batteryInput(t, appName, uint64(seed))
+					cfg := faultCfg(t, implName, kind, inj)
+					st, _, err := Run(cfg, in.Ranks, spec.New(in), in.SimSteps/2)
+					if err != nil {
+						t.Fatalf("seed %d kernel %v: %v", seed, kind, err)
+					}
+					if st.CkptTaken != 1 {
+						t.Fatalf("seed %d kernel %v: %d checkpoints", seed, kind, st.CkptTaken)
+					}
+					if st.StoreRetries < 1 || st.StoreRetryVT <= 0 {
+						t.Fatalf("seed %d kernel %v: store fault not retried: %+v", seed, kind, st)
+					}
+					st.Wall = 0
+					return st
+				}
+				gr := run(cluster.KernelGoroutine)
+				ev := run(cluster.KernelEvent)
+				if !reflect.DeepEqual(gr, ev) {
+					t.Errorf("seed %d: kernel divergence under faults\n goroutine: %+v\n event:     %+v", seed, gr, ev)
+				}
+			}
+		})
+	}
+}
+
+// TestStragglerSlowsTargetRank: the injected straggler window shows up
+// as a strictly larger virtual time on the target rank relative to the
+// same run without faults.
+func TestStragglerSlowsTargetRank(t *testing.T) {
+	spec, in := batteryInput(t, "lammps", 1)
+	clean, _, err := Run(faultCfg(t, "mpich", cluster.KernelEvent, nil), in.Ranks, spec.New(in), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(4, faults.Plan{Events: []faults.Event{
+		{Kind: faults.Straggler, Rank: 2, At: 0, Window: time.Hour, Factor: 8, Step: -1},
+	}})
+	slow, _, err := Run(faultCfg(t, "mpich", cluster.KernelEvent, inj), in.Ranks, spec.New(in), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.PerRankVT[2] <= clean.PerRankVT[2] {
+		t.Fatalf("straggler rank VT %v not above clean %v", slow.PerRankVT[2], clean.PerRankVT[2])
+	}
+	if !reflect.DeepEqual(slow.Checksums, clean.Checksums) {
+		t.Fatal("straggler changed application results")
+	}
+}
+
+// TestCrashAtEveryStep sweeps a scripted crash across every step
+// boundary and an in-step wrapper call, with a checkpoint scheduled
+// mid-run: every crash must surface as a typed *faults.CrashError, the
+// store must hold only complete generations (every blob accounted to a
+// committed generation), and a restart from the store must finish with
+// the fault-free checksums.
+func TestCrashAtEveryStep(t *testing.T) {
+	const implName = "mpich"
+	spec, in := batteryInput(t, "lammps", 3)
+	appf := spec.New(in)
+
+	clean, err := RunNative(faultCfg(t, implName, cluster.KernelEvent, nil), in.Ranks, appf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for step := 0; step <= in.SimSteps; step++ {
+		for _, call := range []int{0, 2} {
+			if step == in.SimSteps && call > 0 {
+				continue // past the last boundary there are no in-step calls
+			}
+			name := fmt.Sprintf("step%d_call%d", step, call)
+			t.Run(name, func(t *testing.T) {
+				inj := faults.NewInjector(in.Ranks, faults.Plan{Events: []faults.Event{
+					{Kind: faults.NodeCrash, Rank: step % in.Ranks, Step: step, Call: call},
+				}})
+				cfg := faultCfg(t, implName, cluster.KernelEvent, inj)
+				s, err := StartJob(cfg, in.Ranks, appf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.Co.RequestCheckpointAtStep(3)
+				_, werr := s.Wait()
+				var ce *faults.CrashError
+				if !errors.As(werr, &ce) {
+					t.Fatalf("crash did not surface as CrashError: %v", werr)
+				}
+				if ce.Rank != step%in.Ranks {
+					t.Fatalf("crash error names rank %d, want %d", ce.Rank, step%in.Ranks)
+				}
+
+				// No partial generations: every backend blob belongs to a
+				// committed generation or is the manifest.
+				store := s.Store()
+				gens := store.Generations()
+				if len(gens) != s.Co.Taken() {
+					t.Fatalf("store holds %d generations, coordinator took %d", len(gens), s.Co.Taken())
+				}
+				keys, err := store.Backend().List()
+				if err != nil {
+					t.Fatal(err)
+				}
+				valid := map[string]bool{"manifest": true}
+				for _, g := range gens {
+					for r := 0; r < in.Ranks; r++ {
+						valid[fmt.Sprintf("gen%04d/rank%02d", g.Seq, r)] = true
+					}
+				}
+				for _, k := range keys {
+					if !valid[k] {
+						t.Fatalf("orphan blob %q after crash at %s (partial generation)", k, name)
+					}
+				}
+
+				// Recovery: resume from the newest complete generation (or
+				// start over when the crash predates the first commit) and
+				// finish with the fault-free results.
+				cfg.Faults = nil
+				var rst Stats
+				if len(gens) > 0 {
+					rst, err = RestartFromStore(cfg, store, appf)
+				} else {
+					rst, _, err = Run(cfg, in.Ranks, appf, -1)
+				}
+				if err != nil {
+					t.Fatalf("recovery after crash at %s: %v", name, err)
+				}
+				if !reflect.DeepEqual(rst.Checksums, clean.Checksums) {
+					t.Fatalf("post-restart checksums %v, want %v", rst.Checksums, clean.Checksums)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashRecoveryAllImpls: one mid-run crash per implementation,
+// recovered from the store; the restarted state must be byte-identical
+// to the fault-free run of the same implementation, and across the
+// implementations that share a workload the application checksums must
+// agree too.
+func TestCrashRecoveryAllImpls(t *testing.T) {
+	lammpsChecksums := map[string][]uint64{}
+	for _, implName := range impls.Names() {
+		t.Run(implName, func(t *testing.T) {
+			appName := batteryApp(implName)
+			spec, in := batteryInput(t, appName, 5)
+			appf := spec.New(in)
+
+			clean, err := RunNative(faultCfg(t, implName, cluster.KernelEvent, nil), in.Ranks, appf)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			inj := faults.NewInjector(in.Ranks, faults.Plan{Events: []faults.Event{
+				{Kind: faults.NodeCrash, Rank: 1, Step: 4, Call: 1},
+			}})
+			cfg := faultCfg(t, implName, cluster.KernelEvent, inj)
+			s, err := StartJob(cfg, in.Ranks, appf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Co.RequestCheckpointAtStep(2)
+			_, werr := s.Wait()
+			var ce *faults.CrashError
+			if !errors.As(werr, &ce) {
+				t.Fatalf("crash did not surface: %v", werr)
+			}
+			cfg.Faults = nil
+			rst, err := RestartFromStore(cfg, s.Store(), appf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(rst.Checksums, clean.Checksums) {
+				t.Fatalf("post-restart checksums %v, want %v", rst.Checksums, clean.Checksums)
+			}
+			if appName == "lammps" {
+				lammpsChecksums[implName] = rst.Checksums
+			}
+		})
+	}
+	var ref []uint64
+	var refImpl string
+	for implName, sums := range lammpsChecksums {
+		if ref == nil {
+			ref, refImpl = sums, implName
+			continue
+		}
+		if !reflect.DeepEqual(sums, ref) {
+			t.Errorf("post-restart state diverges across impls: %s %v vs %s %v", implName, sums, refImpl, ref)
+		}
+	}
+}
+
+// TestCtlLossReliableDrain: with a dropped and a delayed drain-counter
+// announcement, the reliable exchange's timeout-and-resend recovery must
+// still complete the checkpoint, and the results must match the
+// fault-free run.
+func TestCtlLossReliableDrain(t *testing.T) {
+	spec, in := batteryInput(t, "lammps", 9)
+	appf := spec.New(in)
+	clean, _, err := Run(faultCfg(t, "mpich", cluster.KernelEvent, nil), in.Ranks, appf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faults.NewInjector(in.Ranks, faults.Plan{Events: []faults.Event{
+		{Kind: faults.CtlLoss, Rank: 1, Nth: 1, Step: -1},
+		{Kind: faults.CtlReorder, Rank: 2, Nth: 1, Delay: 200 * time.Microsecond, Step: -1},
+	}})
+	st, _, err := Run(faultCfg(t, "mpich", cluster.KernelEvent, inj), in.Ranks, appf, 3)
+	if err != nil {
+		t.Fatalf("drain under control loss: %v", err)
+	}
+	if st.CkptTaken != 1 {
+		t.Fatalf("checkpoints %d, want 1", st.CkptTaken)
+	}
+	if inj.CtlDropped() != 1 || inj.CtlDelayed() != 1 {
+		t.Fatalf("dropped=%d delayed=%d, want 1/1", inj.CtlDropped(), inj.CtlDelayed())
+	}
+	if !reflect.DeepEqual(st.Checksums, clean.Checksums) {
+		t.Fatal("control-message faults changed application results")
+	}
+	// The recovery costs virtual time (the resend timeout), so the lossy
+	// drain is at least as slow as the clean one.
+	if st.DrainVT < clean.DrainVT {
+		t.Fatalf("lossy drain VT %v below clean %v", st.DrainVT, clean.DrainVT)
+	}
+}
+
+// TestCtlFaultsRejectGoroutineKernel: armed control faults require the
+// event kernel; launching on the goroutine kernel must fail fast with a
+// clear message instead of hanging in a timeout-less drain.
+func TestCtlFaultsRejectGoroutineKernel(t *testing.T) {
+	spec, in := batteryInput(t, "lammps", 1)
+	inj := faults.NewInjector(in.Ranks, faults.Plan{CtlDrops: 1})
+	_, _, err := Run(faultCfg(t, "mpich", cluster.KernelGoroutine, inj), in.Ranks, spec.New(in), 3)
+	if err == nil || !strings.Contains(err.Error(), "event kernel") {
+		t.Fatalf("control faults on the goroutine kernel: %v", err)
+	}
+}

@@ -43,6 +43,24 @@ type Stats struct {
 	// Checksums holds each rank's application checksum (correctness
 	// comparisons between native, MANA, and restarted runs).
 	Checksums []uint64
+	// CkptVTs and CkptCostVTs record, per completed checkpoint in order,
+	// rank 0's completion virtual time and the virtual time the protocol
+	// consumed. The service harness derives lost work per crash and the
+	// adaptive interval controller's checkpoint-cost estimate from them.
+	CkptVTs     []time.Duration
+	CkptCostVTs []time.Duration
+	// StoreRetries / StoreRetryVT count the checkpoint store's transient
+	// backend failures retried away and the modeled exponential-backoff
+	// time those retries would have consumed (cumulative over the store's
+	// lifetime, which may span restarts). StorePermanent counts
+	// operations that exhausted the retry budget.
+	StoreRetries   int
+	StoreRetryVT   time.Duration
+	StorePermanent int
+	// ResidualOrphans is the store's count of blobs left unreferenced by
+	// failed discard/prune deletes that the bounded retry pass could not
+	// reclaim — storage leaked, correctness unaffected.
+	ResidualOrphans int
 }
 
 // Session is a running MANA job.
@@ -78,16 +96,56 @@ func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
 		stopped:   make([]bool, n),
 	}
 	s.job = cluster.NewKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel)
+	if err := armFaults(cfg, s.job); err != nil {
+		return nil, err
+	}
 	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
 		rt, err := NewRuntime(cfg, proc, clock, s.Co)
 		if err != nil {
 			return err
 		}
 		s.runtimes[rank] = rt
+		s.wireFaults(rt, rank, clock)
 		inst := factory()
 		return s.runRank(rt, inst, rank, 0, true)
 	})
 	return s, nil
+}
+
+// armFaults validates a configured fault injector against the chosen
+// simulation kernel and attaches its control-message filter to the
+// job's fabric. No-op without an injector.
+func armFaults(cfg Config, job *cluster.Job) error {
+	if cfg.Faults == nil {
+		return nil
+	}
+	if err := cfg.Faults.ValidateKernel(cfg.Kernel == cluster.KernelEvent); err != nil {
+		return err
+	}
+	cfg.Faults.AttachFabric(job.Fabric)
+	return nil
+}
+
+// wireFaults connects a freshly built runtime and its rank clock to the
+// job's fault plumbing: the per-rank drain-phase board always (it feeds
+// the event kernel's deadlock diagnostic), and — when an injector is
+// configured — the injector's straggler windows plus the internal
+// communicator's transport context, which the control-message filter
+// needs to tell drain counter rows from application traffic.
+func (s *Session) wireFaults(rt *Runtime, rank int, clock *simtime.Clock) {
+	rt.phaseFn = func(p string) { s.job.SetRankPhase(rank, p) }
+	f := s.cfg.Faults
+	if f == nil {
+		return
+	}
+	f.ApplyStragglers(rank, clock)
+	if cc, ok := rt.lower.(interface {
+		CommContext(mpi.Handle) (uint32, error)
+	}); ok {
+		if ctx, err := cc.CommContext(rt.manaComm); err == nil {
+			f.RegisterCtlContext(ctx)
+		}
+	}
 }
 
 // RestartJob resumes a job from a complete set of checkpoint images.
@@ -144,6 +202,9 @@ func restartJobImages(cfg Config, imgs []*ckptimg.Image, chains []ckptstore.Chai
 		chains:    chains,
 	}
 	s.job = cluster.NewKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel)
+	if err := armFaults(cfg, s.job); err != nil {
+		return nil, err
+	}
 	s.job.Start(func(rank int, proc mpi.Proc, clock *simtime.Clock) error {
 		img := byRank[rank]
 		var chain *ckptstore.ChainStats
@@ -155,6 +216,7 @@ func restartJobImages(cfg Config, imgs []*ckptimg.Image, chains []ckptstore.Chai
 			return err
 		}
 		s.runtimes[rank] = rt
+		s.wireFaults(rt, rank, clock)
 		inst := factory()
 		if err := inst.Restore(img.AppState); err != nil {
 			return fmt.Errorf("mana: restoring application state: %w", err)
@@ -242,6 +304,15 @@ func (s *Session) Wait() (Stats, error) {
 			st.Stopped = true
 		}
 	}
+	if len(s.runtimes) > 0 && s.runtimes[0] != nil {
+		st.CkptVTs = append([]time.Duration(nil), s.runtimes[0].ckptVTs...)
+		st.CkptCostVTs = append([]time.Duration(nil), s.runtimes[0].ckptCosts...)
+	}
+	rs := s.Store().Retry()
+	st.StoreRetries = rs.Retries
+	st.StoreRetryVT = rs.BackoffVT
+	st.StorePermanent = rs.Permanent
+	st.ResidualOrphans = s.Store().ResidualOrphans()
 	return st, err
 }
 

@@ -76,6 +76,23 @@ type Runtime struct {
 	// drain is the configured in-flight message drain strategy.
 	drain ckpt.DrainStrategy
 
+	// lastCkptVT is the virtual time the rank's last checkpoint
+	// completed (0 before the first): the reference the periodic
+	// Config.CkptInterval trigger measures against.
+	lastCkptVT time.Duration
+	// ckptVTs and ckptCosts record, per completed checkpoint, the
+	// completion virtual time and the time the protocol consumed (drain
+	// through commit barrier). The service harness derives lost work and
+	// the adaptive-interval controller's C estimate from rank 0's lists.
+	ckptVTs   []time.Duration
+	ckptCosts []time.Duration
+	// ckptEpoch numbers the drain rounds this runtime has started; the
+	// reliable drain protocol stamps its control rows with it.
+	ckptEpoch int64
+	// phaseFn posts the rank's drain-protocol phase to the cluster's
+	// stall-diagnostic board (nil outside a job).
+	phaseFn func(string)
+
 	snapshotFn  func() ([]byte, error)
 	footprintFn func() int64
 }

@@ -33,9 +33,21 @@ func (r *Runtime) xlatDone(t0 time.Time) {
 // the checkpoint protocol will need.
 
 // lowerCall brackets a lower-half invocation with the two fs-register
-// switches of the split-process architecture.
+// switches of the split-process architecture. Injected node crashes
+// fire here, before the lower half is entered: a crashed rank never
+// half-executes an MPI call. Checkpoint-internal lower-half calls
+// (drain, delivery, the completion barrier) deliberately bypass
+// lowerCall, so a crash can interrupt application communication but
+// never a rank's own commit-critical section — matching a real system
+// where the failed process simply stops and the store keeps whatever
+// generations fully committed.
 func (r *Runtime) lowerCall(fn func() error) error {
 	r.wrapperCalls++
+	if f := r.cfg.Faults; f != nil {
+		if err := f.CheckCall(r.rank, r.clock.Now()); err != nil {
+			return err
+		}
+	}
 	r.bnd.Enter()
 	err := fn()
 	r.bnd.Leave()

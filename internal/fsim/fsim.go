@@ -98,6 +98,22 @@ func (f FS) ReadCost(n int64) time.Duration {
 	return f.Startup/4 + time.Duration(n/(1<<20))*f.PerMB
 }
 
+// RetryBackoff returns the modeled wait before retry number attempt
+// (1-based) of a failed storage operation: exponential over a base of
+// a quarter of the tier's startup cost, so a slow-setup tier (NFS)
+// backs off proportionally longer than a burst buffer. A zero profile
+// falls back to a 1 ms base.
+func (f FS) RetryBackoff(attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base := f.Startup / 4
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	return base << uint(attempt-1)
+}
+
 // EffectiveMBps reports the end-to-end MB/s/rank for an image of n
 // bytes, the metric of Table 3's last column.
 func (f FS) EffectiveMBps(n int64) float64 {

@@ -1,0 +1,521 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"manasim/internal/apps"
+	"manasim/internal/ckptstore"
+	"manasim/internal/cluster"
+	mana "manasim/internal/core"
+	"manasim/internal/faults"
+	"manasim/internal/fsim"
+	"manasim/internal/impls"
+)
+
+// This file is the long-horizon service experiment: run an application
+// under a crash process for as long as it takes to finish, restarting
+// from the checkpoint store after every failure, and compare checkpoint
+// interval policies by goodput — the fraction of consumed machine time
+// that was useful forward progress. The policy of interest is the
+// MTBF-adaptive controller, which re-derives the Young/Daly optimal
+// interval sqrt(2·MTBF·C) from the crash history it has actually
+// observed, against fixed intervals bracketing the optimum.
+
+// YoungDaly is the first-order optimal checkpoint interval for a system
+// with the given mean time between failures and checkpoint cost:
+// sqrt(2·MTBF·C) (Young 1974, Daly 2006).
+func YoungDaly(mtbf, c time.Duration) time.Duration {
+	if mtbf <= 0 || c <= 0 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(2 * float64(mtbf) * float64(c)))
+}
+
+// serviceFS is the storage profile of the service experiment: a
+// node-local NVMe tier scaled so one checkpoint costs a few application
+// steps. The site profiles' startup costs (25 ms even for the burst
+// buffer) dwarf the proxy applications' entire shortened runtimes, which
+// would push the Young/Daly interval past the horizon and make every
+// interval policy degenerate to "never checkpoint".
+func serviceFS() fsim.FS {
+	return fsim.FS{Name: "svc-nvme", Startup: 500 * time.Microsecond, PerMB: 10 * time.Microsecond}
+}
+
+// AdaptiveInterval re-derives the Young/Daly interval from observed
+// history: MTBF as the mean gap between observed crashes (cumulative
+// service time at the last crash over the crash count), C as the mean
+// cost of completed checkpoints. Before the first crash or checkpoint
+// it falls back to the configured initial interval.
+type AdaptiveInterval struct {
+	fallback    time.Duration
+	serviceVT   time.Duration
+	lastCrashVT time.Duration
+	crashes     int
+	costSum     time.Duration
+	costs       int
+}
+
+// NewAdaptiveInterval builds a controller that recommends fallback
+// until it has observed at least one crash and one checkpoint.
+func NewAdaptiveInterval(fallback time.Duration) *AdaptiveInterval {
+	return &AdaptiveInterval{fallback: fallback}
+}
+
+// ObserveAttempt feeds one service attempt into the controller: the
+// virtual time the attempt consumed, whether it ended in a crash, and
+// the costs of the checkpoints it completed.
+func (a *AdaptiveInterval) ObserveAttempt(vt time.Duration, crashed bool, ckptCosts []time.Duration) {
+	a.serviceVT += vt
+	if crashed {
+		a.crashes++
+		a.lastCrashVT = a.serviceVT
+	}
+	for _, c := range ckptCosts {
+		a.costSum += c
+		a.costs++
+	}
+}
+
+// MTBFEstimate is the observed mean time between failures: the mean gap
+// between crashes seen so far (0 before the first crash). Measuring to
+// the last crash rather than over all service time keeps a long
+// crash-free tail from inflating the estimate.
+func (a *AdaptiveInterval) MTBFEstimate() time.Duration {
+	if a.crashes == 0 {
+		return 0
+	}
+	return a.lastCrashVT / time.Duration(a.crashes)
+}
+
+// CkptCostEstimate is the mean observed checkpoint cost (0 before the
+// first checkpoint).
+func (a *AdaptiveInterval) CkptCostEstimate() time.Duration {
+	if a.costs == 0 {
+		return 0
+	}
+	return a.costSum / time.Duration(a.costs)
+}
+
+// Interval is the controller's current recommendation, floored at the
+// checkpoint cost itself (an interval below C can never pay off).
+func (a *AdaptiveInterval) Interval() time.Duration {
+	mtbf, c := a.MTBFEstimate(), a.CkptCostEstimate()
+	tau := YoungDaly(mtbf, c)
+	if tau == 0 {
+		return a.fallback
+	}
+	if tau < c {
+		tau = c
+	}
+	return tau
+}
+
+// ServiceSpec configures one long-horizon service run.
+type ServiceSpec struct {
+	App   string
+	Impl  string
+	Ranks int
+	// Steps overrides the application's simulated step count.
+	Steps int
+	// Seed drives the fault injector's deterministic timeline.
+	Seed int64
+	// MTBF parameterizes the exponential crash process; Crashes bounds
+	// how many the timeline holds.
+	MTBF    time.Duration
+	Crashes int
+	// Interval is the fixed checkpoint interval; ignored when Adaptive.
+	Interval time.Duration
+	// Adaptive switches to the MTBF-adaptive controller, seeded with
+	// InitialInterval until history accumulates.
+	Adaptive        bool
+	InitialInterval time.Duration
+	// FS is the checkpoint storage profile (default serviceFS, a fast
+	// NVMe tier scaled to the proxy applications' shortened runtimes).
+	FS fsim.FS
+	// Kernel selects the simulation kernel (default event: the service
+	// horizon is long and determinism matters).
+	Kernel cluster.KernelKind
+	// BaselineVT is the job's fault-free virtual runtime, used as the
+	// goodput numerator; measured on the fly when zero.
+	BaselineVT time.Duration
+	Logf       func(format string, args ...any)
+}
+
+// ServiceAttempt is one entry of a service run's trajectory: a job
+// launch that either finished the application or died on an injected
+// crash and was restarted from the newest complete generation.
+type ServiceAttempt struct {
+	Attempt int `json:"attempt"`
+	// Restarted reports the attempt resumed from the store's newest
+	// complete generation (false: fresh start from step 0).
+	Restarted bool `json:"restarted"`
+	// VTS is the virtual time the attempt consumed (crash time for
+	// crashed attempts), in seconds; ServiceVTS is cumulative service
+	// time at the attempt's end.
+	VTS        float64 `json:"vt_s"`
+	ServiceVTS float64 `json:"service_vt_s"`
+	Crashed    bool    `json:"crashed"`
+	CrashRank  int     `json:"crash_rank"`
+	// LostVTS is the work lost to the crash: virtual time since the last
+	// committed checkpoint, in seconds.
+	LostVTS float64 `json:"lost_vt_s"`
+	// Ckpts is the number of checkpoints the attempt committed;
+	// IntervalS the checkpoint interval in force.
+	Ckpts     int     `json:"ckpts"`
+	IntervalS float64 `json:"interval_s"`
+}
+
+// ServiceOutcome summarizes one service run under one interval policy.
+type ServiceOutcome struct {
+	Policy   string `json:"policy"`
+	Adaptive bool   `json:"adaptive"`
+	// IntervalS is the fixed interval, or the adaptive controller's
+	// final recommendation, in seconds.
+	IntervalS float64 `json:"interval_s"`
+	// BaselineVTS is the fault-free runtime (the useful work); TotalVTS
+	// the service time actually consumed; Goodput their ratio.
+	BaselineVTS float64 `json:"baseline_vt_s"`
+	TotalVTS    float64 `json:"total_vt_s"`
+	Goodput     float64 `json:"goodput"`
+	LostVTS     float64 `json:"lost_vt_s"`
+	Crashes     int     `json:"crashes"`
+	Restarts    int     `json:"restarts"`
+	Ckpts       int     `json:"ckpts"`
+	// MTBFEstS is the adaptive controller's final MTBF estimate;
+	// CkptCostS its mean observed checkpoint cost.
+	MTBFEstS  float64          `json:"mtbf_est_s"`
+	CkptCostS float64          `json:"ckpt_cost_s"`
+	Attempts  []ServiceAttempt `json:"attempts"`
+}
+
+// RunService executes one long-horizon service run: the application
+// under the spec's crash process, restarted from the checkpoint store
+// after every injected crash, until it completes. Each attempt's lost
+// work (virtual time past the last committed checkpoint) and restart
+// cost are charged to the service clock; the outcome reports goodput
+// against the fault-free baseline.
+func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
+	spec, err := apps.ByName(sp.App)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := impls.Get(sp.Impl)
+	if err != nil {
+		return nil, err
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = sp.Ranks
+	if sp.Steps > 0 {
+		in.SimSteps = sp.Steps
+	}
+	if sp.FS.Name == "" {
+		sp.FS = serviceFS()
+	}
+	appf := spec.New(in)
+	base := mana.Config{
+		ImplName: sp.Impl,
+		Factory:  factory,
+		FS:       sp.FS,
+		Kernel:   sp.Kernel,
+		// Fixed translation cost: the service trajectory must be
+		// reproducible run to run for the determinism battery.
+		FixedXlatCost: 100 * time.Nanosecond,
+	}
+
+	if sp.BaselineVT <= 0 {
+		st, err := mana.RunNative(base, sp.Ranks, appf)
+		if err != nil {
+			return nil, fmt.Errorf("service baseline: %w", err)
+		}
+		sp.BaselineVT = st.VT
+	}
+
+	inj := faults.NewInjector(sp.Ranks, faults.Plan{
+		Seed:    sp.Seed,
+		MTBF:    sp.MTBF,
+		Crashes: sp.Crashes,
+	})
+	store, err := ckptstore.Open(sp.Ranks, ckptstore.Options{})
+	if err != nil {
+		return nil, err
+	}
+	ctl := NewAdaptiveInterval(sp.InitialInterval)
+
+	out := &ServiceOutcome{
+		Policy:      "fixed",
+		Adaptive:    sp.Adaptive,
+		BaselineVTS: sp.BaselineVT.Seconds(),
+	}
+	if sp.Adaptive {
+		out.Policy = "adaptive"
+	}
+
+	elapsed := time.Duration(0)
+	gens := 0
+	maxAttempts := 2*sp.Crashes + 8
+	for attempt := 0; ; attempt++ {
+		if attempt >= maxAttempts {
+			return nil, fmt.Errorf("service: no fault-free attempt within %d launches", maxAttempts)
+		}
+		interval := sp.Interval
+		if sp.Adaptive {
+			interval = ctl.Interval()
+		}
+		inj.SetBase(elapsed)
+		cfg := base
+		cfg.Faults = inj
+		cfg.CkptInterval = interval
+		cfg.Store = store
+
+		var s *mana.Session
+		restarted := gens > 0
+		if restarted {
+			s, err = mana.RestartJobFromStore(cfg, store, appf)
+			out.Restarts++
+		} else {
+			s, err = mana.StartJob(cfg, sp.Ranks, appf)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("service attempt %d: %w", attempt, err)
+		}
+		st, werr := s.Wait()
+		gens += st.CkptTaken
+		out.Ckpts += st.CkptTaken
+
+		rec := ServiceAttempt{
+			Attempt:   attempt,
+			Restarted: restarted,
+			Ckpts:     st.CkptTaken,
+			IntervalS: interval.Seconds(),
+			CrashRank: -1,
+		}
+		attemptVT := st.VT
+		crashed := false
+		if werr != nil {
+			var ce *faults.CrashError
+			if !errors.As(werr, &ce) {
+				return nil, fmt.Errorf("service attempt %d: %w", attempt, werr)
+			}
+			crashed = true
+			rec.Crashed = true
+			rec.CrashRank = ce.Rank
+			// The crash rank's time of death is the attempt's service
+			// charge: deterministic, unlike the surviving ranks' teardown
+			// clocks.
+			attemptVT = ce.VT
+			lastCkpt := time.Duration(0)
+			if n := len(st.CkptVTs); n > 0 {
+				lastCkpt = st.CkptVTs[n-1]
+			}
+			lost := attemptVT - lastCkpt
+			if lost < 0 {
+				lost = 0
+			}
+			rec.LostVTS = lost.Seconds()
+			out.LostVTS += lost.Seconds()
+		}
+		elapsed += attemptVT
+		rec.VTS = attemptVT.Seconds()
+		rec.ServiceVTS = elapsed.Seconds()
+		out.Attempts = append(out.Attempts, rec)
+		ctl.ObserveAttempt(attemptVT, crashed, st.CkptCostVTs)
+		if sp.Logf != nil {
+			sp.Logf("service %-8s attempt %d: vt=%.2fms service=%.2fms crashed=%v ckpts=%d interval=%.2fms",
+				out.Policy, attempt, rec.VTS*1e3, rec.ServiceVTS*1e3, crashed, rec.Ckpts, rec.IntervalS*1e3)
+		}
+		if crashed {
+			out.Crashes++
+			continue
+		}
+		break
+	}
+
+	out.TotalVTS = elapsed.Seconds()
+	if elapsed > 0 {
+		out.Goodput = sp.BaselineVT.Seconds() / out.TotalVTS
+	}
+	if sp.Adaptive {
+		out.IntervalS = ctl.Interval().Seconds()
+	} else {
+		out.IntervalS = sp.Interval.Seconds()
+	}
+	out.MTBFEstS = ctl.MTBFEstimate().Seconds()
+	out.CkptCostS = ctl.CkptCostEstimate().Seconds()
+	return out, nil
+}
+
+// ServiceSweepResult is the service experiment: one service run per
+// interval policy over the same fault timeline, plus the closed-form
+// reference quantities.
+type ServiceSweepResult struct {
+	App      string  `json:"app"`
+	Impl     string  `json:"impl"`
+	Ranks    int     `json:"ranks"`
+	Seed     int64   `json:"seed"`
+	MTBFS    float64 `json:"mtbf_s"`
+	CkptCost float64 `json:"ckpt_cost_s"`
+	// OptimumS is the Young/Daly interval from the true plan MTBF and
+	// the probed checkpoint cost — the closed-form reference the
+	// adaptive controller should converge toward.
+	OptimumS float64           `json:"optimum_s"`
+	Runs     []*ServiceOutcome `json:"runs"`
+}
+
+// Service runs the long-horizon service experiment: the LAMMPS-style
+// workload under an MTBF-parameterized crash process, once per interval
+// policy — fixed intervals bracketing the Young/Daly optimum and the
+// MTBF-adaptive controller — and reports goodput for each. The fault
+// timeline is identical across policies (same seed), so the comparison
+// isolates the interval choice.
+func Service(opts Options) (*ServiceSweepResult, error) {
+	opts = opts.normalized()
+	const (
+		app   = "lammps"
+		impl  = "mpich"
+		ranks = 8
+		seed  = 42
+	)
+	steps := 48
+	if opts.Fast > 1 {
+		steps = 24
+	}
+
+	// Probe the fault-free baseline and the checkpoint cost C once; both
+	// feed the closed-form optimum and the goodput denominator.
+	probe := ServiceSpec{
+		App: app, Impl: impl, Ranks: ranks, Steps: steps,
+		Seed: seed, Kernel: cluster.KernelEvent,
+	}
+	baseVT, ckptCost, err := serviceProbe(probe)
+	if err != nil {
+		return nil, err
+	}
+	mtbf := baseVT / 3
+	optimum := YoungDaly(mtbf, ckptCost)
+
+	res := &ServiceSweepResult{
+		App: app, Impl: impl, Ranks: ranks, Seed: seed,
+		MTBFS:    mtbf.Seconds(),
+		CkptCost: ckptCost.Seconds(),
+		OptimumS: optimum.Seconds(),
+	}
+	policies := []struct {
+		name     string
+		interval time.Duration
+		adaptive bool
+	}{
+		{"fixed-1/8opt", optimum / 8, false},
+		{"fixed-opt", optimum, false},
+		{"fixed-8x-opt", 8 * optimum, false},
+		{"adaptive", 0, true},
+	}
+	for _, p := range policies {
+		sp := ServiceSpec{
+			App: app, Impl: impl, Ranks: ranks, Steps: steps,
+			Seed: seed, MTBF: mtbf, Crashes: 20,
+			Interval: p.interval, Adaptive: p.adaptive,
+			InitialInterval: optimum, // honest start: Young/Daly from the probe
+			Kernel:          cluster.KernelEvent,
+			BaselineVT:      baseVT,
+			Logf:            opts.Logf,
+		}
+		if p.adaptive {
+			// The controller starts from a deliberately wrong fallback so
+			// convergence toward the optimum is earned from observed
+			// history, not inherited from the probe.
+			sp.InitialInterval = optimum / 4
+		}
+		out, err := RunService(sp)
+		if err != nil {
+			return nil, fmt.Errorf("service policy %s: %w", p.name, err)
+		}
+		out.Policy = p.name
+		res.Runs = append(res.Runs, out)
+		if opts.Logf != nil {
+			opts.Logf("service %-12s: goodput=%.3f total=%.1fms lost=%.1fms crashes=%d ckpts=%d interval=%.2fms",
+				p.name, out.Goodput, out.TotalVTS*1e3, out.LostVTS*1e3, out.Crashes, out.Ckpts, out.IntervalS*1e3)
+		}
+	}
+	return res, nil
+}
+
+// serviceProbe measures the fault-free baseline runtime and the cost of
+// one checkpoint under the service configuration.
+func serviceProbe(sp ServiceSpec) (baseVT, ckptCost time.Duration, err error) {
+	spec, err := apps.ByName(sp.App)
+	if err != nil {
+		return 0, 0, err
+	}
+	factory, err := impls.Get(sp.Impl)
+	if err != nil {
+		return 0, 0, err
+	}
+	in := spec.DefaultInput(apps.SiteDiscovery)
+	in.Ranks = sp.Ranks
+	if sp.Steps > 0 {
+		in.SimSteps = sp.Steps
+	}
+	if sp.FS.Name == "" {
+		sp.FS = serviceFS()
+	}
+	cfg := mana.Config{
+		ImplName:      sp.Impl,
+		Factory:       factory,
+		FS:            sp.FS,
+		Kernel:        sp.Kernel,
+		FixedXlatCost: 100 * time.Nanosecond,
+	}
+	st, err := mana.RunNative(cfg, sp.Ranks, spec.New(in))
+	if err != nil {
+		return 0, 0, fmt.Errorf("service baseline: %w", err)
+	}
+	baseVT = st.VT
+
+	// Probe C as the mean over several periodic checkpoints, not a single
+	// one: drain traffic and delta-vs-base image sizes vary across the
+	// run, and the closed-form optimum should use the same representative
+	// cost the adaptive controller will observe.
+	cfg.CkptInterval = baseVT / 8
+	s, err := mana.StartJob(cfg, sp.Ranks, spec.New(in))
+	if err != nil {
+		return 0, 0, fmt.Errorf("service checkpoint probe: %w", err)
+	}
+	st, err = s.Wait()
+	if err != nil {
+		return 0, 0, fmt.Errorf("service checkpoint probe: %w", err)
+	}
+	if len(st.CkptCostVTs) == 0 {
+		return 0, 0, fmt.Errorf("service checkpoint probe took no checkpoint")
+	}
+	var sum time.Duration
+	for _, c := range st.CkptCostVTs {
+		sum += c
+	}
+	return baseVT, sum / time.Duration(len(st.CkptCostVTs)), nil
+}
+
+// WriteService renders the service sweep. The proxy applications run in
+// the millisecond regime, so every duration column is reported in ms.
+func WriteService(w io.Writer, res *ServiceSweepResult) {
+	title := fmt.Sprintf("Long-horizon service: %s/%s, %d ranks, MTBF=%.2fms, C=%.2fms, Young/Daly optimum=%.2fms",
+		res.App, res.Impl, res.Ranks, res.MTBFS*1e3, res.CkptCost*1e3, res.OptimumS*1e3)
+	fmt.Fprintf(w, "%s\n%s\n%-14s %13s %9s %10s %9s %8s %7s %6s\n", title, strings.Repeat("=", len(title)),
+		"Policy", "Interval (ms)", "Goodput", "Total (ms)", "Lost (ms)", "Crashes", "Ckpts", "Rst")
+	for _, r := range res.Runs {
+		fmt.Fprintf(w, "%-14s %13.2f %9.3f %10.1f %9.1f %8d %7d %6d\n",
+			r.Policy, r.IntervalS*1e3, r.Goodput, r.TotalVTS*1e3, r.LostVTS*1e3, r.Crashes, r.Ckpts, r.Restarts)
+	}
+	for _, r := range res.Runs {
+		if r.Adaptive {
+			fmt.Fprintf(w, "adaptive final: MTBF est=%.2fms (true %.2fms), C est=%.2fms, interval=%.2fms (optimum %.2fms, %+.1f%%)\n",
+				r.MTBFEstS*1e3, res.MTBFS*1e3, r.CkptCostS*1e3, r.IntervalS*1e3, res.OptimumS*1e3,
+				100*(r.IntervalS-res.OptimumS)/res.OptimumS)
+		}
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"manasim/internal/cluster"
+)
+
+// TestYoungDaly: the closed-form optimum is sqrt(2*MTBF*C), floored at
+// the checkpoint cost itself, and zero inputs degrade gracefully.
+func TestYoungDaly(t *testing.T) {
+	got := YoungDaly(8*time.Millisecond, time.Millisecond)
+	want := time.Duration(math.Sqrt(2 * 8e6 * 1e6)) // sqrt(2*MTBF*C) in ns
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("YoungDaly = %v, want %v", got, want)
+	}
+	if got := YoungDaly(0, time.Millisecond); got != 0 {
+		t.Fatalf("YoungDaly with zero MTBF = %v, want 0", got)
+	}
+	// The closed form can dip below C for tiny MTBF; the controller is
+	// the one that floors its recommendation at one checkpoint cost.
+	ctl := NewAdaptiveInterval(0)
+	ctl.ObserveAttempt(time.Microsecond, true, []time.Duration{time.Millisecond})
+	ctl.ObserveAttempt(time.Microsecond, false, nil)
+	if got := ctl.Interval(); got < time.Millisecond {
+		t.Fatalf("adaptive interval %v below the checkpoint cost floor", got)
+	}
+}
+
+// TestAdaptiveIntervalConverges: fed a synthetic crash history with a
+// known MTBF and checkpoint cost, the controller's recommendation lands
+// on the Young/Daly optimum for its own estimates.
+func TestAdaptiveIntervalConverges(t *testing.T) {
+	ctl := NewAdaptiveInterval(time.Millisecond)
+	if got := ctl.Interval(); got != time.Millisecond {
+		t.Fatalf("fresh controller interval %v, want the seed 1ms", got)
+	}
+	costs := []time.Duration{time.Millisecond}
+	for i := 0; i < 10; i++ {
+		ctl.ObserveAttempt(8*time.Millisecond, true, costs)
+	}
+	ctl.ObserveAttempt(3*time.Millisecond, false, costs)
+	mtbf := ctl.MTBFEstimate()
+	if mtbf != 8*time.Millisecond {
+		t.Fatalf("MTBF estimate %v, want 8ms", mtbf)
+	}
+	if c := ctl.CkptCostEstimate(); c != time.Millisecond {
+		t.Fatalf("ckpt cost estimate %v, want 1ms", c)
+	}
+	if got, want := ctl.Interval(), YoungDaly(mtbf, time.Millisecond); got != want {
+		t.Fatalf("interval %v, want Young/Daly %v", got, want)
+	}
+}
+
+// checkTrajectory asserts structural invariants of one service run:
+// every attempt but the last crashed, the final attempt completed, and
+// each crash after a committed checkpoint was recovered via a store
+// restart rather than a fresh start.
+func checkTrajectory(t *testing.T, r *ServiceOutcome) {
+	t.Helper()
+	if len(r.Attempts) == 0 {
+		t.Fatalf("%s: no attempts recorded", r.Policy)
+	}
+	gens, crashes, restarts := 0, 0, 0
+	for i, a := range r.Attempts {
+		last := i == len(r.Attempts)-1
+		if a.Crashed == last {
+			t.Fatalf("%s attempt %d: crashed=%v at position %d/%d — only the final attempt may complete",
+				r.Policy, i, a.Crashed, i, len(r.Attempts))
+		}
+		if a.Restarted != (gens > 0) {
+			t.Fatalf("%s attempt %d: restarted=%v with %d prior generations — every crash past the first checkpoint must recover from the store",
+				r.Policy, i, a.Restarted, gens)
+		}
+		if a.Crashed {
+			crashes++
+			if a.CrashRank < 0 {
+				t.Fatalf("%s attempt %d: crashed without a crash rank", r.Policy, i)
+			}
+			if a.LostVTS < 0 || a.LostVTS > a.VTS {
+				t.Fatalf("%s attempt %d: lost work %.3fms outside attempt vt %.3fms",
+					r.Policy, i, a.LostVTS*1e3, a.VTS*1e3)
+			}
+		}
+		if a.Restarted {
+			restarts++
+		}
+		gens += a.Ckpts
+	}
+	if crashes != r.Crashes || restarts != r.Restarts {
+		t.Fatalf("%s: trajectory counts crashes=%d restarts=%d, outcome says %d/%d",
+			r.Policy, crashes, restarts, r.Crashes, r.Restarts)
+	}
+	if r.Goodput <= 0 || r.Goodput > 1 {
+		t.Fatalf("%s: goodput %.3f outside (0, 1]", r.Policy, r.Goodput)
+	}
+	if r.TotalVTS < r.BaselineVTS {
+		t.Fatalf("%s: total service time %.3fms below the fault-free baseline %.3fms",
+			r.Policy, r.TotalVTS*1e3, r.BaselineVTS*1e3)
+	}
+}
+
+// TestServiceSweepAcceptance runs the full-size service experiment and
+// asserts the PR's acceptance bar: the adaptive controller's final
+// interval lands within 15% of the Young/Daly closed-form optimum, and
+// its goodput strictly beats the worst fixed-interval policy.
+func TestServiceSweepAcceptance(t *testing.T) {
+	res, err := Service(Options{Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 4 {
+		t.Fatalf("sweep ran %d policies, want 4", len(res.Runs))
+	}
+	if res.OptimumS <= 0 {
+		t.Fatalf("closed-form optimum %.3fms not positive", res.OptimumS*1e3)
+	}
+
+	var adaptive *ServiceOutcome
+	worstFixed := math.Inf(1)
+	worstPolicy := ""
+	for _, r := range res.Runs {
+		checkTrajectory(t, r)
+		if r.Adaptive {
+			if adaptive != nil {
+				t.Fatal("sweep holds two adaptive runs")
+			}
+			adaptive = r
+			continue
+		}
+		if r.Goodput < worstFixed {
+			worstFixed, worstPolicy = r.Goodput, r.Policy
+		}
+	}
+	if adaptive == nil {
+		t.Fatal("sweep holds no adaptive run")
+	}
+
+	rel := math.Abs(adaptive.IntervalS-res.OptimumS) / res.OptimumS
+	t.Logf("adaptive interval %.3fms vs optimum %.3fms (%.1f%% off); goodput %.3f vs worst fixed %q %.3f",
+		adaptive.IntervalS*1e3, res.OptimumS*1e3, rel*100, adaptive.Goodput, worstPolicy, worstFixed)
+	if rel > 0.15 {
+		t.Fatalf("adaptive interval %.3fms is %.1f%% from the Young/Daly optimum %.3fms (bound 15%%)",
+			adaptive.IntervalS*1e3, rel*100, res.OptimumS*1e3)
+	}
+	if adaptive.Goodput <= worstFixed {
+		t.Fatalf("adaptive goodput %.3f does not beat worst fixed policy %q at %.3f",
+			adaptive.Goodput, worstPolicy, worstFixed)
+	}
+}
+
+// TestServiceCrossKernelDeterminism: the same service spec produces a
+// byte-identical trajectory on the goroutine and event kernels — every
+// attempt's crash point, lost work, and checkpoint count agree, so the
+// whole crash/restart history is kernel-independent.
+func TestServiceCrossKernelDeterminism(t *testing.T) {
+	for _, seed := range []int64{11, 29} {
+		sp := ServiceSpec{
+			App: "lammps", Impl: "mpich", Ranks: 4, Steps: 8,
+			Seed: seed, MTBF: 2 * time.Millisecond, Crashes: 3,
+			Interval: time.Millisecond,
+		}
+		sp.Kernel = cluster.KernelGoroutine
+		g, err := RunService(sp)
+		if err != nil {
+			t.Fatalf("seed %d goroutine kernel: %v", seed, err)
+		}
+		sp.Kernel = cluster.KernelEvent
+		e, err := RunService(sp)
+		if err != nil {
+			t.Fatalf("seed %d event kernel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(g, e) {
+			t.Fatalf("seed %d: service outcomes diverge across kernels:\ngoroutine: %+v\nevent:     %+v", seed, g, e)
+		}
+		if g.Crashes == 0 {
+			t.Fatalf("seed %d: determinism check exercised no crashes", seed)
+		}
+		checkTrajectory(t, g)
+	}
+}

@@ -9,10 +9,10 @@ import (
 
 // rank activity states.
 const (
-	stReady  int8 = iota // scheduled: a wakeup event is in the heap
-	stRunning            // executing (at most one rank at a time)
-	stParked             // blocked, waiting for a Wake
-	stDone               // activity returned
+	stReady   int8 = iota // scheduled: a wakeup event is in the heap
+	stRunning             // executing (at most one rank at a time)
+	stParked              // blocked, waiting for a Wake
+	stDone                // activity returned
 )
 
 // event is one pending rank resumption: rank becomes runnable at virtual
@@ -34,8 +34,8 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -181,6 +181,23 @@ func (k *Kernel) Park(rank int) {
 		return
 	}
 	k.state[rank] = stParked
+	k.mu.Unlock()
+
+	k.yielded <- struct{}{}
+	<-k.resume[rank]
+}
+
+// ParkUntil yields the calling rank's execution token until virtual
+// time at: the rank is rescheduled unconditionally at that time, like a
+// sleep in virtual time. Unlike Park there is no early wake — a Wake
+// arriving while the rank is sleeping finds it in the ready state and
+// is a no-op, so callers re-check their condition after the deadline
+// and sleep again if needed. This is the primitive behind the drain
+// protocol's retransmission timeouts.
+func (k *Kernel) ParkUntil(rank int, at time.Duration) {
+	k.mu.Lock()
+	k.state[rank] = stReady
+	k.push(at, rank)
 	k.mu.Unlock()
 
 	k.yielded <- struct{}{}

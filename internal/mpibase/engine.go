@@ -218,6 +218,22 @@ func (e *Engine) recvRaw(c *Comm, ctx uint32, buf []byte, count int, dt *Dtype, 
 	return e.finishRecv(c, msg, buf, count, dt)
 }
 
+// SleepUntil parks the rank until virtual time at and merges the clock
+// forward to at. It backs the drain protocol's retransmission timeouts
+// and requires the event kernel (the transport reports an error when no
+// timed scheduler is attached). Sleeping to a time already in the past
+// returns immediately after a zero-length park.
+func (e *Engine) SleepUntil(at time.Duration) error {
+	if at < e.Clock.Now() {
+		at = e.Clock.Now()
+	}
+	if err := e.Ep.SleepUntil(at); err != nil {
+		return mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+	}
+	e.Clock.MergeAtLeast(at)
+	return nil
+}
+
 // Iprobe checks for a matching message without receiving it.
 func (e *Engine) Iprobe(c *Comm, src, tag int) (bool, mpi.Status, error) {
 	m, err := makeMatch(c, c.Ctx, src, tag)

@@ -194,6 +194,24 @@ func (p *Proc) request(h mpi.Handle) (*Req, error) {
 	return o.(*Req), nil
 }
 
+// SleepUntil parks the rank until virtual time at (event kernel only).
+// It is not part of mpi.Proc: the checkpoint layer discovers it with a
+// type assertion when the drain protocol needs retransmission timeouts.
+func (p *Proc) SleepUntil(at time.Duration) error {
+	return p.Eng.SleepUntil(at)
+}
+
+// CommContext reports the transport context id of a communicator. Like
+// SleepUntil it is discovered by assertion: the fault injector needs
+// the internal communicator's context to target control messages.
+func (p *Proc) CommContext(comm mpi.Handle) (uint32, error) {
+	c, err := p.comm(comm)
+	if err != nil {
+		return 0, err
+	}
+	return c.Ctx, nil
+}
+
 // ---------------------------------------------------------------------
 // point-to-point
 

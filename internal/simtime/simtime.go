@@ -27,7 +27,14 @@ import (
 // goroutine; it is not safe for concurrent use. (Coordinator code reads
 // final values only after rank goroutines have finished.)
 type Clock struct {
-	now time.Duration
+	now  time.Duration
+	slow []slowWindow
+}
+
+// slowWindow scales Advance charges that begin inside [from, until).
+type slowWindow struct {
+	factor      float64
+	from, until time.Duration
 }
 
 // NewClock returns a clock at virtual time zero.
@@ -36,12 +43,32 @@ func NewClock() *Clock { return &Clock{} }
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Duration { return c.now }
 
-// Advance moves the clock forward by d. Negative d is ignored: virtual
-// time is monotone.
-func (c *Clock) Advance(d time.Duration) {
-	if d > 0 {
-		c.now += d
+// Slow installs a straggler window: any Advance charge that begins
+// while the clock is inside [from, until) costs factor times as much.
+// The window scales charged work (compute, translation, crossings) but
+// never MergeAtLeast — a straggling node runs slowly, it does not slow
+// messages already on the wire. Factors at or below 1 are ignored.
+func (c *Clock) Slow(factor float64, from, until time.Duration) {
+	if factor <= 1 || until <= from {
+		return
 	}
+	c.slow = append(c.slow, slowWindow{factor: factor, from: from, until: until})
+}
+
+// Advance moves the clock forward by d — scaled up by an active
+// straggler window, if any. Negative d is ignored: virtual time is
+// monotone.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for _, w := range c.slow {
+		if c.now >= w.from && c.now < w.until {
+			d = time.Duration(float64(d) * w.factor)
+			break
+		}
+	}
+	c.now += d
 }
 
 // MergeAtLeast sets the clock to t if t is later than the current virtual

@@ -110,6 +110,13 @@ type Scheduler interface {
 	Wake(rank int, at time.Duration)
 }
 
+// FaultFilter inspects an outgoing message before it is deposited. It
+// returns drop=true to discard the message entirely, or a positive
+// delay to push its effective send timestamp later in virtual time
+// (modeling a slow control path). The filter runs on the sender's rank
+// activity and must be deterministic.
+type FaultFilter func(m *Message) (drop bool, delay time.Duration)
+
 // Fabric is one interconnect instance serving one simulated job. All
 // ranks of the job share the fabric; a restart builds a brand-new one.
 type Fabric struct {
@@ -119,6 +126,7 @@ type Fabric struct {
 	nextCtx atomic.Uint32
 	boxes   []*mailbox
 	closed  atomic.Bool
+	filter  FaultFilter
 }
 
 var sessionCounter atomic.Uint64
@@ -152,6 +160,12 @@ func (f *Fabric) SetScheduler(s Scheduler, cost func(bytes int) time.Duration) {
 		b.cost = cost
 	}
 }
+
+// SetFaultFilter installs a fault filter applied to every Send. Like
+// SetScheduler it must be called before any endpoint operation; the
+// fault injector attaches it when control-message faults are armed.
+// Passing nil removes the filter.
+func (f *Fabric) SetFaultFilter(fn FaultFilter) { f.filter = fn }
 
 // Size returns the number of ranks served by the fabric.
 func (f *Fabric) Size() int { return f.n }
@@ -247,8 +261,44 @@ func (e *Endpoint) Send(dst int, ctx uint32, tag int, buf []byte, sendVT time.Du
 		SendVT:  sendVT,
 		Seq:     e.fabric.seq.Add(1),
 	}
+	if fn := e.fabric.filter; fn != nil {
+		drop, delay := fn(msg)
+		if drop {
+			// The bytes left the sender and vanished on the wire: the
+			// send itself still succeeded and is counted.
+			e.sent.Add(1)
+			return nil
+		}
+		if delay > 0 {
+			msg.SendVT += delay
+		}
+	}
 	e.sent.Add(1)
 	return e.fabric.boxes[dst].put(msg)
+}
+
+// SleepUntil parks the calling rank's activity until virtual time at.
+// It requires an attached scheduler that supports timed parking (the
+// event kernel's ParkUntil); under the goroutine kernel there is no
+// virtual-time event queue to wake a sleeper, so SleepUntil reports an
+// error and the caller must not rely on timeouts.
+func (e *Endpoint) SleepUntil(at time.Duration) error {
+	if e.fabric.closed.Load() {
+		return ErrClosed
+	}
+	b := e.fabric.boxes[e.rank]
+	type timedParker interface {
+		ParkUntil(rank int, at time.Duration)
+	}
+	tp, ok := b.sched.(timedParker)
+	if !ok {
+		return errors.New("transport: virtual-time sleep needs the event kernel")
+	}
+	tp.ParkUntil(e.rank, at)
+	if e.fabric.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Recv blocks until a message matching m arrives, removes it, and
