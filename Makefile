@@ -127,6 +127,18 @@ race-faults:
 	@$(GO) test -race -run 'TestFaultBattery|TestCrash|TestCtl|TestStraggler' ./internal/core
 	@$(GO) test -race -run 'TestService|TestAdaptiveInterval|TestYoungDaly' ./internal/harness
 
+# race-scrub covers the store-integrity subsystem: the scrubber's
+# parallel verification walk over manifest, chains, recipes, and blobs
+# (repair mutates the blob table while the worker pool reads it), the
+# corruption injector's strike bookkeeping, and the restart-fallback
+# walk that re-enters the store after quarantine.
+.PHONY: race-scrub
+race-scrub:
+	@echo "Running the store-integrity subsystem under the race detector..."
+	@$(GO) test -race -run 'TestScrub|TestStoreCorrupt|TestCorrupt' ./internal/ckptstore ./internal/faults
+	@$(GO) test -race -run 'TestRestartFallback|TestRestartCorruptionSweep' ./internal/core
+	@$(GO) test -race -run 'TestServiceCorruption' ./internal/harness
+
 .PHONY: bench-figures
 bench-figures:
 	@echo "Regenerating the paper figures via benchmarks..."

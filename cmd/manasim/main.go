@@ -43,6 +43,8 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "scrub":
+		err = cmdScrub(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
 	case "-h", "--help", "help":
@@ -64,6 +66,7 @@ func usage() {
 commands:
   list                          applications and MPI implementations
   run -app A -impl I [flags]    run one application
+  scrub -ckpt-dir DIR           verify and repair an on-disk checkpoint store
   experiment -name E [flags]    regenerate a paper table/figure
 
 run flags:
@@ -117,6 +120,23 @@ run flags:
            interval-driven checkpoints on any run; "adaptive" (with
            -mtbf) re-derives the Young/Daly interval sqrt(2*MTBF*C)
            from observed crash history
+  -corrupt-rate  with -mtbf: silently corrupt this fraction of store
+           blobs at write time (seeded, one strike per key); the service
+           loop scrubs before every restart so damage is quarantined,
+           never decoded
+  -restart-fallback  degrade-to-older-generation restart: a corrupt or
+           quarantined head generation no longer forces a fresh start;
+           the restart walks back to the newest verifying generation
+           (applies to the -mtbf service loop and to -restart-impl)
+
+scrub flags:
+  -ckpt-dir  directory of the fs-backed store to verify (required)
+  -backend   store backend (default fs)
+           walks manifest -> chains -> recipes -> blobs, verifies frame
+           CRCs and refcounts, repairs what it can in place (orphan
+           deletion, refcount rebuild, donor re-derivation), quarantines
+           generations it cannot vouch for; exits nonzero if any
+           generation is quarantined after the pass
 
 experiment flags:
   -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta,
@@ -127,6 +147,9 @@ experiment flags:
            under an MTBF-parameterized crash process)
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
+  -corrupt-rate  with -name service: run the store-integrity sweep
+           instead — corruption rates {0, r} x restart fallback
+           {off, on} at the fixed Young/Daly-optimal interval
 `)
 }
 
@@ -182,6 +205,8 @@ func cmdRun(args []string) error {
 	faultSeed := fs.Int64("fault-seed", 42, "fault timeline seed with -faults")
 	mtbf := fs.Duration("mtbf", 0, "mean time between injected node crashes (virtual time); runs the long-horizon service loop with restart-from-store")
 	ckptInterval := fs.String("ckpt-interval", "", "periodic checkpoint interval: a duration, or \"adaptive\" for the MTBF-adaptive Young/Daly controller (needs -mtbf)")
+	corruptRate := fs.Float64("corrupt-rate", 0, "with -mtbf: silently corrupt this fraction of store blobs at write time")
+	restartFallback := fs.Bool("restart-fallback", false, "degrade to the newest verifying generation when the head is corrupt or quarantined")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -246,6 +271,8 @@ func cmdRun(args []string) error {
 			Seed: *faultSeed, MTBF: *mtbf, Crashes: 6,
 			Interval: interval, Adaptive: adaptive,
 			InitialInterval: *mtbf / 4,
+			CorruptRate:     *corruptRate,
+			Fallback:        *restartFallback,
 			Kernel:          kern,
 			Logf: func(format string, a ...any) {
 				fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
@@ -258,6 +285,10 @@ func cmdRun(args []string) error {
 		fmt.Printf("  goodput=%.3f  total=%.2fms useful=%.2fms lost=%.2fms\n", out.Goodput, out.TotalVTS*1e3, out.BaselineVTS*1e3, out.LostVTS*1e3)
 		fmt.Printf("  crashes=%d restarts=%d ckpts=%d final-interval=%.2fms (est MTBF %.2fms, ckpt cost %.2fms)\n",
 			out.Crashes, out.Restarts, out.Ckpts, out.IntervalS*1e3, out.MTBFEstS*1e3, out.CkptCostS*1e3)
+		if *corruptRate > 0 {
+			fmt.Printf("  integrity: rate=%g fallback=%v corruptions=%d scrub-findings=%d repaired=%d fresh-starts=%d extra-lost=%.2fms\n",
+				out.CorruptRate, out.Fallback, out.Corruptions, out.ScrubFindings, out.ScrubRepaired, out.FreshStarts, extraLost(out)*1e3)
+		}
 		return nil
 	}
 
@@ -404,7 +435,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName, StreamRestart: *streamRestart, Kernel: kern}
+	rcfg := mana.Config{ImplName: *restartImpl, Factory: rfactory, Host: host, DrainStrategy: *drainName, StreamRestart: *streamRestart, Kernel: kern, RestartFallback: *restartFallback}
 	rs, err := mana.RestartJobFromStore(rcfg, store, spec.New(in))
 	if err != nil {
 		return err
@@ -420,6 +451,63 @@ func cmdRun(args []string) error {
 		return err
 	}
 	report(*appName, "restart MANA/"+*restartImpl, rst, in, start)
+	return nil
+}
+
+// extraLost sums the recomputation windows a run's degraded and fresh
+// restarts accepted (already folded into LostVTS; broken out here).
+func extraLost(out *harness.ServiceOutcome) float64 {
+	var s float64
+	for _, a := range out.Attempts {
+		s += a.ExtraLostVTS
+	}
+	return s
+}
+
+// cmdScrub verifies and repairs an on-disk checkpoint store: the
+// offline entry to the same integrity pass the service loop runs
+// between restart attempts. The store's geometry (delta, dedup,
+// compression, chunking) is adopted from its manifest.
+func cmdScrub(args []string) error {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	ckptDir := fs.String("ckpt-dir", "", "directory of the store to verify (required)")
+	backendName := fs.String("backend", "fs", "store backend")
+	verbose := fs.Bool("v", false, "print every finding, not just the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckptDir == "" {
+		return fmt.Errorf("scrub: -ckpt-dir is required")
+	}
+	st, err := ckptstore.OpenExisting(ckptstore.Options{Backend: *backendName, Dir: *ckptDir})
+	if err != nil {
+		return err
+	}
+	rep, err := st.Scrub()
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	if *verbose {
+		for _, f := range rep.Findings {
+			loc := ""
+			if f.Gen >= 0 {
+				loc = fmt.Sprintf(" gen=%d rank=%d", f.Gen, f.Rank)
+			}
+			status := "unrecoverable"
+			if f.Repaired {
+				status = "repaired"
+			}
+			fmt.Printf("  %-18s %-28s%s %s", f.Kind, f.Key, loc, status)
+			if f.Err != nil {
+				fmt.Printf(" (%v)", f.Err)
+			}
+			fmt.Println()
+		}
+	}
+	if q := st.Quarantined(); len(q) > 0 {
+		return fmt.Errorf("scrub: %d generation(s) quarantined: %v — restart will skip them under -restart-fallback", len(q), q)
+	}
 	return nil
 }
 
@@ -452,12 +540,14 @@ func cmdExperiment(args []string) error {
 	name := fs.String("name", "all", "experiment name")
 	trials := fs.Int("trials", 3, "trials per cell")
 	fast := fs.Int("fast", 1, "SimSteps divisor")
+	corruptRate := fs.Float64("corrupt-rate", 0, "with -name service: run the store-integrity sweep at this top corruption rate")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := harness.Options{
-		Trials: *trials,
-		Fast:   *fast,
+		Trials:      *trials,
+		Fast:        *fast,
+		CorruptRate: *corruptRate,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "  "+format+"\n", a...)
 		},
@@ -533,6 +623,14 @@ func cmdExperiment(args []string) error {
 			}
 			harness.WriteDedup(os.Stdout, rows)
 		case "service":
+			if opts.CorruptRate > 0 {
+				res, err := harness.ServiceCorruption(opts)
+				if err != nil {
+					return err
+				}
+				harness.WriteServiceCorruption(os.Stdout, res)
+				break
+			}
 			res, err := harness.Service(opts)
 			if err != nil {
 				return err

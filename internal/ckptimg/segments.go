@@ -83,6 +83,37 @@ func splitSections(data []byte) ([][]byte, bool) {
 	return segs, true
 }
 
+// SectionFrameBounds returns every offset a dedup segment boundary can
+// fall on in a v3 image: 0, the end of the 16-byte header, and the end
+// of each section frame (the last entry equals len(data)). Any segment
+// SplitDedupSegments ever produced from this image is a contiguous run
+// between two such bounds — the scrubber walks donor images with this
+// to re-derive a damaged blob whose bytes survive inside an intact
+// sharer under a different run grouping. ok is false when data is not
+// a well-framed v3 image.
+func SectionFrameBounds(data []byte) ([]int, bool) {
+	if len(data) < 16 || !bytes.Equal(data[:8], Magic[:]) {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[8:12]) != Version {
+		return nil, false
+	}
+	bounds := []int{0, 16}
+	off := 16
+	for off < len(data) {
+		if len(data)-off < 16 {
+			return nil, false
+		}
+		size := binary.LittleEndian.Uint64(data[off+4 : off+12])
+		if size > uint64(len(data)-off-16) {
+			return nil, false
+		}
+		off += 16 + int(size)
+		bounds = append(bounds, off)
+	}
+	return bounds, true
+}
+
 // splitFixed is the segFallback-sized chunking for opaque payloads.
 func splitFixed(data []byte) [][]byte {
 	if len(data) == 0 {

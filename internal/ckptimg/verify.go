@@ -1,0 +1,89 @@
+package ckptimg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// ErrUnverifiable marks payloads that carry no integrity information:
+// opaque bytes the store accepted verbatim. Verify cannot vouch for
+// them — but they are not provably damaged either, so the scrubber
+// must not condemn them.
+var ErrUnverifiable = errors.New("ckptimg: payload carries no integrity information")
+
+// Verify checks an encoded image's integrity without assembling or
+// decompressing app state: the header, every section frame's CRC, the
+// clean-end marker, and the no-trailing-bytes rule. It accepts full
+// and delta v3 images and legacy v2 images (whole-body CRC). The walk
+// touches each byte exactly once and allocates nothing — this is the
+// scrubber's verify-only reader.
+//
+// A payload that does not start with the image magic returns
+// ErrUnverifiable: the store allows opaque payloads, and nothing
+// distinguishes one from an image whose first eight bytes rotted.
+// Every other failure wraps ErrCorrupt.
+func Verify(data []byte) error {
+	if len(data) < 16 || !bytes.Equal(data[:8], Magic[:]) {
+		return ErrUnverifiable
+	}
+	ver, flags, err := parseHeader(data)
+	if err != nil {
+		return err
+	}
+	switch ver {
+	case VersionLegacy:
+		wantCRC := binary.LittleEndian.Uint32(data[12:16])
+		if got := crc32.ChecksumIEEE(data[16:]); got != wantCRC {
+			return fmt.Errorf("ckptimg: checksum mismatch (%w): %08x != %08x", ErrCorrupt, got, wantCRC)
+		}
+		return nil
+	case Version:
+	default:
+		return fmt.Errorf("ckptimg: image claims version %d (%w)", ver, ErrCorrupt)
+	}
+	if flags&^knownFlags != 0 {
+		return fmt.Errorf("ckptimg: unknown header flags %#x (%w)", flags&^knownFlags, ErrCorrupt)
+	}
+	if err := checkCompressFlags(flags); err != nil {
+		return err
+	}
+	delta := flags&FlagDelta != 0
+	var sawMeta, sawDeltaMeta bool
+	c := &sectionCursor{data: data, off: 16}
+	for {
+		tag, _, err := c.next()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case secMeta, secMeta2:
+			sawMeta = true
+		case secDeltaMeta, secDeltaMet2:
+			if !delta {
+				return fmt.Errorf("ckptimg: delta linkage in a full image (%w)", ErrCorrupt)
+			}
+			sawDeltaMeta = true
+		case secDeltaChunk:
+			if !delta {
+				return fmt.Errorf("ckptimg: delta chunk record in a full image (%w)", ErrCorrupt)
+			}
+		case secApp, secStore, secDrained, secDrained2, secReqs, secReqs2, secCounters, secCounters2:
+		case secEnd:
+			if c.rest() > 0 {
+				return fmt.Errorf("ckptimg: trailing data after end marker (%w)", ErrCorrupt)
+			}
+			if !sawMeta {
+				return fmt.Errorf("ckptimg: image has no META section (%w)", ErrCorrupt)
+			}
+			if delta && !sawDeltaMeta {
+				return fmt.Errorf("ckptimg: delta image has no linkage section (%w)", ErrCorrupt)
+			}
+			return nil
+		default:
+			return fmt.Errorf("ckptimg: unknown section tag %#x (%w)", tag, ErrCorrupt)
+		}
+	}
+}

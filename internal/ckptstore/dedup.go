@@ -292,10 +292,17 @@ func (s *Store) pruneRecipe(k string) error {
 // the reassembly read through shared blobs (refcount > 1 — bytes some
 // other live chain also references) versus unique ones; the refcount
 // snapshot is taken in one short critical section.
+//
+// Every resolution failure — an undecodable recipe, a missing or
+// key-contradicting blob, a reassembly length mismatch — is a typed
+// *ChainLinkError naming the generation and rank, exactly like the
+// plain chain walk's failures, so restart-fallback policies can match
+// one error shape. Only ErrPruned stays bare: a pruned generation is
+// expected store lifecycle, not damage.
 func (s *Store) assembleRecipe(seq, rank int, recipe []byte) ([]byte, dedupRead, error) {
 	total, keys, err := decodeRecipe(recipe)
 	if err != nil {
-		return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d rank %d: %w", seq, rank, err)
+		return nil, dedupRead{}, &ChainLinkError{Gen: seq, Rank: rank, Err: err}
 	}
 	refs := make([]int, len(keys))
 	s.mu.Lock()
@@ -311,14 +318,15 @@ func (s *Store) assembleRecipe(seq, rank int, recipe []byte) ([]byte, dedupRead,
 			if seq < s.PrunedBefore() {
 				return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d: %w (pruned during the read)", seq, ErrPruned)
 			}
-			return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d rank %d: %w", seq, rank, err)
+			return nil, dedupRead{}, &ChainLinkError{Gen: seq, Rank: rank, Err: err}
 		}
 		crc, length, err := parseBlobKey(bk)
 		if err != nil {
-			return nil, dedupRead{}, err
+			return nil, dedupRead{}, &ChainLinkError{Gen: seq, Rank: rank, Err: err}
 		}
 		if int64(len(seg)) != length || crc32.ChecksumIEEE(seg) != crc {
-			return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d rank %d: blob %q does not match its key (%w)", seq, rank, bk, ckptimg.ErrCorrupt)
+			return nil, dedupRead{}, &ChainLinkError{Gen: seq, Rank: rank,
+				Err: fmt.Errorf("blob %q does not match its key (%w)", bk, ckptimg.ErrCorrupt)}
 		}
 		if refs[i] > 1 {
 			dr.shared += length
@@ -329,7 +337,8 @@ func (s *Store) assembleRecipe(seq, rank int, recipe []byte) ([]byte, dedupRead,
 		out = append(out, seg...)
 	}
 	if len(out) != total {
-		return nil, dedupRead{}, fmt.Errorf("ckptstore: generation %d rank %d: recipe reassembled %d bytes, want %d (%w)", seq, rank, len(out), total, ckptimg.ErrCorrupt)
+		return nil, dedupRead{}, &ChainLinkError{Gen: seq, Rank: rank,
+			Err: fmt.Errorf("recipe reassembled %d bytes, want %d (%w)", len(out), total, ckptimg.ErrCorrupt)}
 	}
 	return out, dr, nil
 }

@@ -3,6 +3,7 @@ package ckptstore
 import (
 	"bytes"
 	"errors"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -428,4 +429,95 @@ func TestDedupCommitRace(t *testing.T) {
 	if ds := s.DedupStats(); ds.Blobs == 0 || ds.StoredBytes <= 0 {
 		t.Fatalf("blob table emptied by racing prunes: %+v", ds)
 	}
+}
+
+// TestDedupResolutionErrorsTyped pins the error contract of the dedup
+// read path: a damaged recipe, a content blob that contradicts its
+// key, and a missing content blob all surface as *ChainLinkError
+// naming the generation and rank — the same shape as plain-chain
+// failures — on both the batch and streaming materialize paths, with
+// corruption still matchable via errors.Is(err, ckptimg.ErrCorrupt).
+func TestDedupResolutionErrorsTyped(t *testing.T) {
+	const n = 2
+	materialize := map[string]func(s *Store, seq int) error{
+		"batch":  func(s *Store, seq int) error { _, _, err := s.Materialize(seq); return err },
+		"stream": func(s *Store, seq int) error { _, _, err := s.MaterializeStream(seq); return err },
+	}
+	for name, mat := range materialize {
+		t.Run(name, func(t *testing.T) {
+			// Damaged recipe: the gen key's bytes no longer decode.
+			s := MustOpen(n, dedupOptions())
+			commitGen(t, s, n, 0, func(r int) []byte { return sharedAppState(8<<10, r, 0) })
+			if err := s.Backend().Put(key(0, 1), []byte("MANARCP1 but torn")); err != nil {
+				t.Fatal(err)
+			}
+			err := mat(s, 0)
+			var cle *ChainLinkError
+			if !errors.As(err, &cle) {
+				t.Fatalf("damaged recipe: want *ChainLinkError, got %T: %v", err, err)
+			}
+			if cle.Gen != 0 || cle.Rank != 1 {
+				t.Fatalf("damaged recipe blamed gen %d rank %d, want 0/1", cle.Gen, cle.Rank)
+			}
+
+			// Corrupt content blob: stored bytes contradict the key.
+			s = MustOpen(n, dedupOptions())
+			commitGen(t, s, n, 0, func(r int) []byte { return sharedAppState(8<<10, r, 0) })
+			blobs := listBlobKeys(t, s)
+			data, err := s.Backend().Get(blobs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x40
+			if err := s.Backend().Put(blobs[0], data); err != nil {
+				t.Fatal(err)
+			}
+			err = mat(s, 0)
+			cle = nil
+			if !errors.As(err, &cle) {
+				t.Fatalf("corrupt blob: want *ChainLinkError, got %T: %v", err, err)
+			}
+			if cle.Gen != 0 {
+				t.Fatalf("corrupt blob blamed gen %d, want 0", cle.Gen)
+			}
+			if !errors.Is(err, ckptimg.ErrCorrupt) {
+				t.Fatalf("corrupt blob does not match ckptimg.ErrCorrupt: %v", err)
+			}
+
+			// Missing content blob (not a prune: the generation is live).
+			s = MustOpen(n, dedupOptions())
+			commitGen(t, s, n, 0, func(r int) []byte { return sharedAppState(8<<10, r, 0) })
+			if err := s.Backend().Delete(listBlobKeys(t, s)[0]); err != nil {
+				t.Fatal(err)
+			}
+			err = mat(s, 0)
+			cle = nil
+			if !errors.As(err, &cle) {
+				t.Fatalf("missing blob: want *ChainLinkError, got %T: %v", err, err)
+			}
+			if errors.Is(err, ErrPruned) {
+				t.Fatal("missing blob on a live generation reported as ErrPruned")
+			}
+		})
+	}
+}
+
+// listBlobKeys returns the store's content blob keys, sorted.
+func listBlobKeys(t *testing.T, s *Store) []string {
+	t.Helper()
+	keys, err := s.Backend().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blobs []string
+	for _, k := range keys {
+		if strings.HasPrefix(k, blobPrefix) {
+			blobs = append(blobs, k)
+		}
+	}
+	sort.Strings(blobs)
+	if len(blobs) == 0 {
+		t.Fatal("dedup store has no content blobs")
+	}
+	return blobs
 }

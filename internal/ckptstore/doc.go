@@ -231,6 +231,40 @@
 //     state buffer, with one chunk-sized scratch per rank for
 //     length-mismatched tails.
 //
+// # Scrub, quarantine, and restart fallback
+//
+// The store assumes backends can lie: a blob may come back bit-flipped,
+// truncated, or torn without any operation having failed. Scrub() is
+// the integrity pass that finds out. It walks manifest → generation
+// chains → dedup recipes → blobs, verifying every section-frame CRC,
+// every content key's length and hash, and the dedup refcount table,
+// and classifies each defect as a ScrubFinding. Repairs happen in
+// place where the store holds redundancy:
+//
+//   - a corrupt dedup blob is re-derived from any surviving recipe
+//     sharer's materialized bytes (donor repair);
+//   - refcount drift is rebuilt from the surviving recipes;
+//   - orphan blobs (reachable from no live recipe or generation) are
+//     deleted.
+//
+// What cannot be repaired is quarantined: the generation is marked in
+// the manifest (surviving process restarts), Materialize and
+// MaterializeStream refuse it with ErrQuarantined, and a later scrub
+// pass releases it if the damage turns out to have been transient
+// (a flaky read, since healed). Quarantining the head also invalidates
+// the delta index, forcing the next commit to a full base — a delta
+// against unverifiable state would be unreconstructable. A scrub pass
+// never deletes generation data: quarantine is reversible, deletion is
+// not, and the restart fallback in core (Config.RestartFallback) may
+// still want an older generation this pass could not vouch for.
+//
+// The restart side of the contract: every decode failure is typed
+// (ckptimg.ErrCorrupt, ErrQuarantined, ErrPruned, *ChainLinkError), so
+// core.RestartJobFromStore can walk generations newest-first and
+// degrade to the newest one that verifies instead of returning
+// bit-wrong state. The walk stops at a pruned generation — older
+// blobs are deleted, nothing below can restart.
+//
 // Compression is configured per store: Options.Compress enables it,
 // Options.CompressTier picks the codec and effort — ckptimg.TierFast
 // (flate BestSpeed, images flagged ckptimg.FlagFastCompress) for hot

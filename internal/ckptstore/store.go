@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -246,6 +247,11 @@ type manifest struct {
 	// crash between a prune's deletes and its manifest write cannot
 	// leave the counts stale.
 	Dedup bool
+	// Quarantined lists generations scrub found unrepairably damaged
+	// (scrub.go); they refuse to materialize until released. Absent in
+	// manifests written before the integrity subsystem — gob leaves the
+	// field nil, meaning none.
+	Quarantined []int
 }
 
 const manifestKey = "manifest"
@@ -263,6 +269,9 @@ type Store struct {
 	chain    int
 	index    []rankIndex
 	prunedTo int
+	// quarantined marks generations scrub condemned (scrub.go); they
+	// refuse to materialize until a later scrub releases them.
+	quarantined map[int]bool
 	// retentionErr is the outcome of the latest automatic prune
 	// (LastRetentionErr); retention never fails a durable commit.
 	retentionErr error
@@ -392,7 +401,7 @@ func Open(n int, o Options) (*Store, error) {
 	if o.WrapBackend != nil {
 		b = o.WrapBackend(b)
 	}
-	s := &Store{b: b, n: n, opts: o, index: make([]rankIndex, n)}
+	s := &Store{b: b, n: n, opts: o, index: make([]rankIndex, n), quarantined: make(map[int]bool)}
 	if o.Dedup {
 		s.blobRefs = make(map[string]int)
 	}
@@ -412,6 +421,9 @@ func Open(n int, o Options) (*Store, error) {
 			return nil, fmt.Errorf("ckptstore: backend holds a dedup=%v lineage, store configured dedup=%v", m.Dedup, o.Dedup)
 		}
 		s.gens, s.chain, s.index, s.prunedTo = m.Gens, m.Chain, m.Index, m.PrunedTo
+		for _, seq := range m.Quarantined {
+			s.quarantined[seq] = true
+		}
 		resumed = true
 	}
 	if err := s.pruneOrphans(resumed); err != nil {
@@ -821,6 +833,13 @@ func (s *Store) pruneLocked(keepBases int) error {
 		return err
 	}
 	s.prunedTo = cutoff
+	// Quarantine entries below the cutoff are stale: the generations are
+	// metadata-only now, and ErrPruned outranks ErrQuarantined.
+	for seq := range s.quarantined {
+		if seq < s.prunedTo {
+			delete(s.quarantined, seq)
+		}
+	}
 	return s.persistManifest()
 }
 
@@ -834,15 +853,35 @@ func (s *Store) PrunedBefore() int {
 
 // persistManifest rewrites the manifest blob; the caller holds s.mu.
 func (s *Store) persistManifest() error {
+	var quarantined []int
+	for seq := range s.quarantined {
+		quarantined = append(quarantined, seq)
+	}
+	sort.Ints(quarantined)
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&manifest{
 		N: s.n, ChunkBytes: s.opts.ChunkBytes,
 		Gens: s.gens, Chain: s.chain, Index: s.index,
 		PrunedTo: s.prunedTo, Dedup: s.opts.Dedup,
+		Quarantined: quarantined,
 	}); err != nil {
 		return fmt.Errorf("ckptstore: encoding manifest: %w", err)
 	}
 	return s.bPut(manifestKey, buf.Bytes())
+}
+
+// ForceBase invalidates the head chunk indexes and resets the delta
+// chain, so the next commit writes full base images. Restart fallback
+// calls it after resuming from an older generation: the in-memory
+// indexes still describe the newer (damaged) head, and a delta encoded
+// against them would chain new work onto bytes that cannot resolve.
+func (s *Store) ForceBase() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r := range s.index {
+		s.index[r] = rankIndex{}
+	}
+	s.chain = 0
 }
 
 // Generations lists the committed generations in order.
@@ -872,13 +911,16 @@ func (s *Store) Head() (Generation, bool) {
 // immutable, so Materialize never blocks a concurrent Commit.
 func (s *Store) Materialize(seq int) ([][]byte, []ChainStats, error) {
 	s.mu.Lock()
-	nGens, prunedTo := len(s.gens), s.prunedTo
+	nGens, prunedTo, quarantined := len(s.gens), s.prunedTo, s.quarantined[seq]
 	s.mu.Unlock()
 	if seq < 0 || seq >= nGens {
 		return nil, nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, nGens)
 	}
 	if seq < prunedTo {
 		return nil, nil, fmt.Errorf("ckptstore: generation %d: %w (blobs survive from generation %d on)", seq, ErrPruned, prunedTo)
+	}
+	if quarantined {
+		return nil, nil, fmt.Errorf("ckptstore: generation %d: %w", seq, ErrQuarantined)
 	}
 	out := make([][]byte, s.n)
 	stats := make([]ChainStats, s.n)

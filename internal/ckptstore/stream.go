@@ -39,13 +39,16 @@ import (
 // byte-identical application state for the same generation.
 func (s *Store) MaterializeStream(seq int) ([]*ckptimg.Image, []ChainStats, error) {
 	s.mu.Lock()
-	nGens, prunedTo := len(s.gens), s.prunedTo
+	nGens, prunedTo, quarantined := len(s.gens), s.prunedTo, s.quarantined[seq]
 	s.mu.Unlock()
 	if seq < 0 || seq >= nGens {
 		return nil, nil, fmt.Errorf("ckptstore: no generation %d (have %d)", seq, nGens)
 	}
 	if seq < prunedTo {
 		return nil, nil, fmt.Errorf("ckptstore: generation %d: %w (blobs survive from generation %d on)", seq, ErrPruned, prunedTo)
+	}
+	if quarantined {
+		return nil, nil, fmt.Errorf("ckptstore: generation %d: %w", seq, ErrQuarantined)
 	}
 	out := make([]*ckptimg.Image, s.n)
 	stats := make([]ChainStats, s.n)

@@ -162,6 +162,17 @@ type Config struct {
 	// materialization remains the default; both produce byte-identical
 	// application state.
 	StreamRestart bool
+	// RestartFallback lets RestartJobFromStore degrade to an older
+	// generation when the newest one is quarantined or fails to
+	// materialize (silent corruption, missing blobs): the walk tries
+	// each generation newest-first, skipping quarantined ones, stopping
+	// only at pruned territory — retention deleted everything older — or
+	// when every generation is exhausted. The restart is never silent
+	// about it: Stats.RestartGen names the generation actually used, and
+	// the store is forced to a full base so no new delta chains onto the
+	// damaged head. Off by default: a damaged head fails the restart
+	// with a typed error.
+	RestartFallback bool
 }
 
 // withDefaults fills unset fields.

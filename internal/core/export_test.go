@@ -1,0 +1,127 @@
+package mana
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"manasim/internal/ckptstore"
+)
+
+// copyTree copies the fs backend's directory byte for byte — the
+// "export" of a checkpoint store is nothing more than its files.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHelperStoreResume is the subprocess half of the cross-process
+// round trip: it runs only when pointed at an exported store directory,
+// adopts the store's geometry from its manifest (OpenExisting — the
+// same entry the scrub CLI uses), resumes the job to completion, and
+// prints per-rank checksums for the parent to compare.
+func TestHelperStoreResume(t *testing.T) {
+	dir := os.Getenv("MANASIM_RESUME_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper; driven by TestStoreExportImportResumeCrossProcess")
+	}
+	impl := os.Getenv("MANASIM_RESUME_IMPL")
+	steps, err := strconv.Atoi(os.Getenv("MANASIM_RESUME_STEPS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ckptstore.OpenExisting(ckptstore.Options{Backend: "fs", Dir: dir})
+	if err != nil {
+		t.Fatalf("importing exported store: %v", err)
+	}
+	cfg := implFactory(t, impl)
+	rst, err := RestartFromStore(cfg, st, newRingApp(steps))
+	if err != nil {
+		t.Fatalf("resuming exported store: %v", err)
+	}
+	for r, c := range rst.Checksums {
+		fmt.Printf("resume-checksum %d %016x\n", r, c)
+	}
+}
+
+// TestStoreExportImportResumeCrossProcess: a checkpoint store written
+// on the fs backend survives export (directory copy), import by a
+// process with no shared memory — a fresh `go test` subprocess — and
+// resumption there, with per-rank checksums agreeing with an
+// uninterrupted in-process run on every simulated MPI implementation.
+func TestStoreExportImportResumeCrossProcess(t *testing.T) {
+	const ranks, steps, at = 4, 10, 5
+	line := regexp.MustCompile(`resume-checksum (\d+) ([0-9a-f]{16})`)
+	for _, impl := range []string{"mpich", "craympi", "openmpi", "exampi"} {
+		t.Run(impl, func(t *testing.T) {
+			clean, _, err := Run(implFactory(t, impl), ranks, newRingApp(steps), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			st, err := ckptstore.Open(ranks, ckptstore.Options{
+				Backend: "fs", Dir: dir, Delta: true, ChunkBytes: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := implFactory(t, impl)
+			cfg.Store = st
+			cfg.ExitAtCheckpoint = true
+			if _, _, err := Run(cfg, ranks, newRingApp(steps), at); err != nil {
+				t.Fatal(err)
+			}
+
+			exported := t.TempDir()
+			copyTree(t, dir, exported)
+
+			cmd := exec.Command(os.Args[0], "-test.run=^TestHelperStoreResume$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"MANASIM_RESUME_DIR="+exported,
+				"MANASIM_RESUME_IMPL="+impl,
+				fmt.Sprintf("MANASIM_RESUME_STEPS=%d", steps),
+			)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("subprocess resume failed: %v\n%s", err, out)
+			}
+			got := make(map[int]string)
+			for _, m := range line.FindAllStringSubmatch(string(out), -1) {
+				r, _ := strconv.Atoi(m[1])
+				got[r] = m[2]
+			}
+			if len(got) != ranks {
+				t.Fatalf("subprocess reported %d checksums, want %d:\n%s", len(got), ranks, out)
+			}
+			for r, want := range clean.Checksums {
+				if got[r] != fmt.Sprintf("%016x", want) {
+					t.Errorf("rank %d: cross-process checksum %s, in-process %016x", r, got[r], want)
+				}
+			}
+		})
+	}
+}

@@ -56,17 +56,20 @@ func batteryInput(t *testing.T, appName string, seed uint64) (apps.Spec, apps.In
 }
 
 // batteryPlan is the non-crash fault mix of the determinism battery: a
-// straggler window covering the whole run and a transient store fault
-// on a first-generation blob. Both are kernel-independent by design —
-// straggler windows live on the rank clock, and store retry backoff is
-// surfaced in Stats instead of being charged to a (kernel-dependent)
-// committing rank.
+// straggler window covering the whole run, a transient store fault on a
+// first-generation blob, and a silent corruption of another. All three
+// are kernel-independent by design — straggler windows live on the rank
+// clock, store retry backoff is surfaced in Stats instead of being
+// charged to a (kernel-dependent) committing rank, and corruption
+// strikes are a pure function of (key, seed) regardless of how the
+// store's workers interleave.
 func batteryPlan(seed int64) faults.Plan {
 	return faults.Plan{
 		Seed: seed,
 		Events: []faults.Event{
 			{Kind: faults.Straggler, Rank: 1, At: 0, Window: time.Hour, Factor: 2, Step: -1},
 			{Kind: faults.StoreFault, Key: "gen0000/rank01", Ops: 1, Step: -1},
+			{Kind: faults.StoreCorrupt, Key: "gen0000/rank00", Mode: faults.CorruptFlip, Step: -1},
 		},
 	}
 }
@@ -100,6 +103,9 @@ func TestFaultBatteryKernelsAndImpls(t *testing.T) {
 					}
 					if st.StoreRetries < 1 || st.StoreRetryVT <= 0 {
 						t.Fatalf("seed %d kernel %v: store fault not retried: %+v", seed, kind, st)
+					}
+					if st.StoreCorruptions != 1 {
+						t.Fatalf("seed %d kernel %v: %d silent corruptions, want 1", seed, kind, st.StoreCorruptions)
 					}
 					st.Wall = 0
 					return st

@@ -61,6 +61,16 @@ type Stats struct {
 	// failed discard/prune deletes that the bounded retry pass could not
 	// reclaim — storage leaked, correctness unaffected.
 	ResidualOrphans int
+	// RestartGen is the store generation this session restarted from, or
+	// -1 for fresh jobs and restarts from raw images. A value below the
+	// store's head means restart fallback degraded to an older verified
+	// generation (Config.RestartFallback).
+	RestartGen int
+	// StoreCorruptions counts the distinct store keys the configured
+	// fault injector has silently corrupted so far (cumulative over the
+	// injector's lifetime, which may span restarts). 0 without an
+	// injector.
+	StoreCorruptions int
 }
 
 // Session is a running MANA job.
@@ -74,6 +84,9 @@ type Session struct {
 	checksums []uint64
 	stopped   []bool
 	chains    []ckptstore.ChainStats
+	// restartGen is the store generation the session resumed from (-1
+	// for fresh jobs and raw-image restarts); see Stats.RestartGen.
+	restartGen int
 }
 
 // StartJob launches an n-rank application under MANA. Checkpoints are
@@ -88,12 +101,13 @@ func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
 		return nil, err
 	}
 	s := &Session{
-		cfg:       cfg,
-		n:         n,
-		Co:        ckpt.NewStoreCoordinator(n, cfg.FS, nil, st, cfg.SkewBound),
-		runtimes:  make([]*Runtime, n),
-		checksums: make([]uint64, n),
-		stopped:   make([]bool, n),
+		cfg:        cfg,
+		n:          n,
+		Co:         ckpt.NewStoreCoordinator(n, cfg.FS, nil, st, cfg.SkewBound),
+		runtimes:   make([]*Runtime, n),
+		checksums:  make([]uint64, n),
+		stopped:    make([]bool, n),
+		restartGen: -1,
 	}
 	s.job = cluster.NewKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel)
 	if err := armFaults(cfg, s.job); err != nil {
@@ -193,13 +207,14 @@ func restartJobImages(cfg Config, imgs []*ckptimg.Image, chains []ckptstore.Chai
 		return nil, err
 	}
 	s := &Session{
-		cfg:       cfg,
-		n:         n,
-		Co:        ckpt.NewStoreCoordinator(n, cfg.FS, nil, st, cfg.SkewBound),
-		runtimes:  make([]*Runtime, n),
-		checksums: make([]uint64, n),
-		stopped:   make([]bool, n),
-		chains:    chains,
+		cfg:        cfg,
+		n:          n,
+		Co:         ckpt.NewStoreCoordinator(n, cfg.FS, nil, st, cfg.SkewBound),
+		runtimes:   make([]*Runtime, n),
+		checksums:  make([]uint64, n),
+		stopped:    make([]bool, n),
+		chains:     chains,
+		restartGen: -1,
 	}
 	s.job = cluster.NewKernel(n, cfg.Factory, cfg.Host.Net, cfg.Kernel)
 	if err := armFaults(cfg, s.job); err != nil {
@@ -313,6 +328,10 @@ func (s *Session) Wait() (Stats, error) {
 	st.StoreRetryVT = rs.BackoffVT
 	st.StorePermanent = rs.Permanent
 	st.ResidualOrphans = s.Store().ResidualOrphans()
+	st.RestartGen = s.restartGen
+	if s.cfg.Faults != nil {
+		st.StoreCorruptions = s.cfg.Faults.StoreCorruptions()
+	}
 	return st, err
 }
 
@@ -362,6 +381,14 @@ func Restart(cfg Config, images [][]byte, factory app.Factory) (Stats, error) {
 // only newest-wins winning chunks are decompressed, and the model
 // charges the consumed base bytes plus the winning chunks' compressed
 // bytes as one pipelined read.
+// With Config.RestartFallback set, a head that is quarantined or fails
+// to materialize does not fail the restart outright: the walk degrades
+// newest-first to the youngest generation that still verifies, skipping
+// quarantined ones, stopping only when the chain reaches pruned
+// territory or runs out of generations. The degrade is never silent —
+// Stats.RestartGen names the generation used, and the store is forced
+// to a full base on the next checkpoint so nothing deltas against the
+// damaged head.
 func RestartJobFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (*Session, error) {
 	if st == nil {
 		return nil, fmt.Errorf("mana: restart from store: no store")
@@ -373,14 +400,54 @@ func RestartJobFromStore(cfg Config, st *ckptstore.Store, factory app.Factory) (
 	if m := st.CostModel(); m.Name != "" {
 		cfg.FS = m
 	}
+	gens := st.Generations()
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("mana: restart: store has no generations")
+	}
+	head := gens[len(gens)-1].Seq
+	var firstErr error
+	for i := len(gens) - 1; i >= 0; i-- {
+		seq := gens[i].Seq
+		if cfg.RestartFallback && st.IsQuarantined(seq) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mana: restart: generation %d: %w", seq, ckptstore.ErrQuarantined)
+			}
+			continue
+		}
+		s, err := restartFromGeneration(cfg, st, seq, factory)
+		if err == nil {
+			s.restartGen = seq
+			if seq != head {
+				st.ForceBase()
+			}
+			return s, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !cfg.RestartFallback {
+			return nil, firstErr
+		}
+		if errors.Is(err, ckptstore.ErrPruned) {
+			// Retention already deleted everything older; walking
+			// further cannot find a restartable generation.
+			return nil, fmt.Errorf("mana: restart: generation %d already pruned, nothing older restartable: %w", seq, firstErr)
+		}
+	}
+	return nil, fmt.Errorf("mana: restart: no generation restartable: %w", firstErr)
+}
+
+// restartFromGeneration materializes one specific generation through
+// the configured restart path and builds the session from it.
+func restartFromGeneration(cfg Config, st *ckptstore.Store, seq int, factory app.Factory) (*Session, error) {
 	if cfg.StreamRestart {
-		imgs, chains, err := st.MaterializeStreamHead()
+		imgs, chains, err := st.MaterializeStream(seq)
 		if err != nil {
 			return nil, fmt.Errorf("mana: restart: %w", err)
 		}
 		return restartJobImages(cfg, imgs, chains, factory)
 	}
-	images, chains, err := st.MaterializeHead()
+	images, chains, err := st.Materialize(seq)
 	if err != nil {
 		return nil, fmt.Errorf("mana: restart: %w", err)
 	}

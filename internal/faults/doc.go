@@ -1,6 +1,7 @@
 // Package faults is the seeded, deterministic fault injector of the
 // simulator: node crashes, stragglers, lossy/delayed control messages,
-// and flaky storage, all scheduled in virtual time.
+// flaky storage, and silent blob corruption, all scheduled in virtual
+// time.
 //
 // # Ownership
 //
@@ -40,4 +41,21 @@
 // a deadline. The goroutine kernel has no such queue, so control-plane
 // faults are rejected under it (ValidateKernel); crash, straggler, and
 // storage faults need no timers and run under both kernels.
+//
+// # Silent corruption (StoreCorrupt)
+//
+// Where a store fault makes an operation fail loudly, a StoreCorrupt
+// event makes it succeed wrongly: the wrapped backend damages the blob
+// at Put time — one flipped bit (CorruptFlip), a truncation
+// (CorruptTruncate), or a torn write with a zeroed tail (CorruptTorn)
+// — and reports success, modeling media that lies. Strikes come from
+// two sources: scheduled Events naming exact keys (armed once the
+// injector's virtual-time base passes their At), and Plan.CorruptRate,
+// a seeded per-key coin flipped from a hash of (key, seed) so the
+// strike set is a pure function of the plan regardless of worker
+// interleaving. Each key is struck at most once; the manifest is
+// exempt (the injector models data damage, not metadata loss);
+// StoreCorruptions() reports how many keys have been hit. The defense
+// — scrub, quarantine, typed decode errors, restart fallback — lives
+// in ckptstore and core; this package only supplies the adversary.
 package faults

@@ -30,6 +30,11 @@ const (
 	CtlReorder
 	// StoreFault makes backend Put/Get on one blob key fail.
 	StoreFault
+	// StoreCorrupt silently damages the stored bytes of a backend blob
+	// (bit-flip, truncation, or torn write). Unlike StoreFault no error
+	// is returned: detection is downstream, through the image section
+	// CRCs and the dedup layer's content-addressed keys.
+	StoreCorrupt
 )
 
 // String names the kind.
@@ -45,6 +50,8 @@ func (k Kind) String() string {
 		return "ctl-reorder"
 	case StoreFault:
 		return "store-fault"
+	case StoreCorrupt:
+		return "store-corrupt"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -82,6 +89,12 @@ type Event struct {
 	Key       string
 	Ops       int
 	Permanent bool
+	// Mode selects a StoreCorrupt event's damage (flip, truncate,
+	// torn). A StoreCorrupt with an empty Key is a rate event: every
+	// non-manifest blob whose seeded key hash falls below Factor is
+	// struck once (Mode zero draws the damage per key from the same
+	// hash). Keyed StoreCorrupt events arm at service time At.
+	Mode CorruptMode
 }
 
 // Plan parameterizes the generated fault timeline. Zero values disable
@@ -124,6 +137,18 @@ type Plan struct {
 	StoreFaults int
 	StoreOps    int
 	StoreMaxGen int
+	// StoreCorrupts schedules that many silent corruptions, each on a
+	// generation blob key drawn from [0, StoreMaxGen) x [0, ranks),
+	// arming at a service time drawn from [0, Horizon). CorruptMode
+	// fixes the damage mode; zero draws flip/truncate/torn per event.
+	StoreCorrupts int
+	CorruptMode   CorruptMode
+	// CorruptRate corrupts every non-manifest backend blob — dedup
+	// blob/… keys and recipes included — whose seeded key hash falls
+	// below the rate, each at most once. It is a pure function of
+	// (key, seed), so the strike set is deterministic no matter how
+	// the store's worker pool interleaves operations.
+	CorruptRate float64
 	// Events are scripted events appended to the generated timeline.
 	Events []Event
 }
@@ -184,6 +209,13 @@ type Injector struct {
 	ctlCtx map[uint32]bool
 	// store maps faulted blob keys to their remaining failures.
 	store map[string]*storeFaultState
+	// corrupt maps blob keys to their scheduled silent corruption;
+	// corruptRate is the seeded per-key strike probability; corrupted
+	// records the distinct keys struck so far (each at most once).
+	corrupt         map[string]*storeCorruptState
+	corruptRate     float64
+	corruptRateMode CorruptMode
+	corrupted       map[string]bool
 	// counters for diagnostics and tests.
 	firedCrashes int
 	droppedCtl   int
@@ -207,6 +239,8 @@ func NewInjector(n int, p Plan) *Injector {
 		ctlSent:     make([]uint64, n),
 		ctlCtx:      make(map[uint32]bool),
 		store:       make(map[string]*storeFaultState),
+		corrupt:     make(map[string]*storeCorruptState),
+		corrupted:   make(map[string]bool),
 	}
 
 	// Crash process: exponential inter-arrival with mean MTBF, floored
@@ -251,6 +285,24 @@ func NewInjector(n int, p Plan) *Injector {
 			Kind: StoreFault, Step: -1,
 			Key: fmt.Sprintf("gen%04d/rank%02d", rng.Intn(p.StoreMaxGen), rng.Intn(n)),
 			Ops: p.StoreOps,
+		})
+	}
+	// Corruption draws come after every older kind so existing seeds
+	// keep their exact timelines when no corruption is planned.
+	for i := 0; i < p.StoreCorrupts; i++ {
+		key := fmt.Sprintf("gen%04d/rank%02d", rng.Intn(p.StoreMaxGen), rng.Intn(n))
+		at := time.Duration(rng.Int63n(int64(p.Horizon)))
+		mode := p.CorruptMode
+		if mode == CorruptNone {
+			mode = CorruptMode(1 + rng.Intn(3))
+		}
+		inj.timeline = append(inj.timeline, Event{
+			Kind: StoreCorrupt, Step: -1, Key: key, At: at, Mode: mode,
+		})
+	}
+	if p.CorruptRate > 0 {
+		inj.timeline = append(inj.timeline, Event{
+			Kind: StoreCorrupt, Step: -1, Factor: p.CorruptRate, Mode: p.CorruptMode,
 		})
 	}
 	inj.timeline = append(inj.timeline, p.Events...)
@@ -319,6 +371,13 @@ func (inj *Injector) index() {
 			}
 			st.left += ev.Ops
 			st.permanent = st.permanent || ev.Permanent
+		case StoreCorrupt:
+			if ev.Key == "" {
+				inj.corruptRate = ev.Factor
+				inj.corruptRateMode = ev.Mode
+			} else {
+				inj.corrupt[ev.Key] = &storeCorruptState{mode: ev.Mode, at: ev.At}
+			}
 		}
 	}
 	sort.SliceStable(inj.crashes, func(i, j int) bool { return inj.crashes[i].At < inj.crashes[j].At })
@@ -356,6 +415,12 @@ func (inj *Injector) Timeline() string {
 				mode = "permanent"
 			}
 			fmt.Fprintf(&b, "store-fault key=%s %s\n", ev.Key, mode)
+		case StoreCorrupt:
+			if ev.Key == "" {
+				fmt.Fprintf(&b, "store-corrupt rate=%.6f mode=%s\n", ev.Factor, ev.Mode)
+			} else {
+				fmt.Fprintf(&b, "store-corrupt key=%s mode=%s at=%.9fs\n", ev.Key, ev.Mode, ev.At.Seconds())
+			}
 		}
 	}
 	return b.String()

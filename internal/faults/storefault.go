@@ -30,12 +30,12 @@ func (e *StoreError) Error() string {
 func (e *StoreError) Transient() bool { return e.Temporary }
 
 // WrapBackend returns a ckptstore backend decorator injecting the
-// planned store faults, or nil when none are scheduled. Wire it via
-// ckptstore.Options.WrapBackend (mana.Config does this when Faults is
-// set and the job opens its own store).
+// planned store faults and silent corruptions, or nil when none are
+// scheduled. Wire it via ckptstore.Options.WrapBackend (mana.Config
+// does this when Faults is set and the job opens its own store).
 func (inj *Injector) WrapBackend() func(ckptstore.Backend) ckptstore.Backend {
 	inj.mu.Lock()
-	armed := len(inj.store) > 0
+	armed := len(inj.store) > 0 || len(inj.corrupt) > 0 || inj.corruptRate > 0
 	inj.mu.Unlock()
 	if !armed {
 		return nil
@@ -91,6 +91,11 @@ func (b *flakyBackend) Put(key string, data []byte) error {
 	if err := b.inj.storeOp("put", key); err != nil {
 		return err
 	}
+	// A strike at write time is a torn/damaged write: the store sees a
+	// successful Put and the damage is only discoverable by reading.
+	if mut, ok := b.inj.corruptStrike(key, data); ok {
+		data = mut
+	}
 	return b.inner.Put(key, data)
 }
 
@@ -98,7 +103,20 @@ func (b *flakyBackend) Get(key string) ([]byte, error) {
 	if err := b.inj.storeOp("get", key); err != nil {
 		return nil, err
 	}
-	return b.inner.Get(key)
+	data, err := b.inner.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	// A strike at read time is bit-rot: rewrite the stored copy so the
+	// damage persists for every later reader until a scrub repairs or
+	// quarantines it.
+	if mut, ok := b.inj.corruptStrike(key, data); ok {
+		if err := b.inner.Put(key, mut); err != nil {
+			return nil, err
+		}
+		return mut, nil
+	}
+	return data, nil
 }
 
 func (b *flakyBackend) List() ([]string, error) { return b.inner.List() }

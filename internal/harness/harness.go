@@ -108,6 +108,11 @@ type Options struct {
 	// Fast divides each application's SimSteps to shorten runs
 	// (1 = calibrated defaults).
 	Fast int
+	// CorruptRate switches the service experiment to the store-integrity
+	// sweep: blobs are silently corrupted at this rate and restart
+	// fallback is compared on/off (CLI: experiment -name service
+	// -corrupt-rate).
+	CorruptRate float64
 	// Verbose emits per-trial progress lines via Logf when set.
 	Logf func(format string, args ...any)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"manasim/internal/apps"
+	"manasim/internal/ckptimg"
 	"manasim/internal/ckptstore"
 	"manasim/internal/cluster"
 	mana "manasim/internal/core"
@@ -134,6 +135,18 @@ type ServiceSpec struct {
 	// InitialInterval until history accumulates.
 	Adaptive        bool
 	InitialInterval time.Duration
+	// CorruptRate silently corrupts that fraction of the store's blobs
+	// (seeded per key, each key struck at most once) — the
+	// silent-corruption half of the store-integrity experiment. When
+	// set, the store is scrubbed before every restart so damage is
+	// detected and quarantined instead of decoded.
+	CorruptRate float64
+	// Fallback enables degrade-to-older-generation restart
+	// (mana.Config.RestartFallback): a corrupt or quarantined head no
+	// longer forces the service back to step 0; the restart walks to
+	// the newest verifying generation and the recomputed window is
+	// charged to the service clock by the longer attempt.
+	Fallback bool
 	// FS is the checkpoint storage profile (default serviceFS, a fast
 	// NVMe tier scaled to the proxy applications' shortened runtimes).
 	FS fsim.FS
@@ -168,6 +181,18 @@ type ServiceAttempt struct {
 	// IntervalS the checkpoint interval in force.
 	Ckpts     int     `json:"ckpts"`
 	IntervalS float64 `json:"interval_s"`
+	// RestartGen is the store generation the attempt resumed from (-1
+	// for fresh starts); a value below the store head means the restart
+	// degraded past damaged or quarantined generations.
+	RestartGen int `json:"restart_gen"`
+	// FreshStart marks the corruption cliff: no generation was
+	// restartable, so the attempt started over from step 0.
+	FreshStart bool `json:"fresh_start,omitempty"`
+	// ExtraLostVTS is the checkpointed application progress between the
+	// generation the attempt actually resumed and the newest committed
+	// checkpoint — progress that will be recomputed because the newer
+	// generations were unusable. In seconds.
+	ExtraLostVTS float64 `json:"extra_lost_vt_s,omitempty"`
 }
 
 // ServiceOutcome summarizes one service run under one interval policy.
@@ -191,6 +216,16 @@ type ServiceOutcome struct {
 	MTBFEstS  float64          `json:"mtbf_est_s"`
 	CkptCostS float64          `json:"ckpt_cost_s"`
 	Attempts  []ServiceAttempt `json:"attempts"`
+	// Integrity counters of the corruption experiment: the distinct
+	// store keys the injector silently damaged, what the between-attempt
+	// scrubs found and repaired, and how often the service fell off the
+	// cliff (no restartable generation, fresh start from step 0).
+	CorruptRate   float64 `json:"corrupt_rate,omitempty"`
+	Fallback      bool    `json:"fallback,omitempty"`
+	Corruptions   int     `json:"corruptions,omitempty"`
+	ScrubFindings int     `json:"scrub_findings,omitempty"`
+	ScrubRepaired int     `json:"scrub_repaired,omitempty"`
+	FreshStarts   int     `json:"fresh_starts,omitempty"`
 }
 
 // RunService executes one long-horizon service run: the application
@@ -236,11 +271,19 @@ func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
 	}
 
 	inj := faults.NewInjector(sp.Ranks, faults.Plan{
-		Seed:    sp.Seed,
-		MTBF:    sp.MTBF,
-		Crashes: sp.Crashes,
+		Seed:        sp.Seed,
+		MTBF:        sp.MTBF,
+		Crashes:     sp.Crashes,
+		CorruptRate: sp.CorruptRate,
 	})
-	store, err := ckptstore.Open(sp.Ranks, ckptstore.Options{})
+	storeOpts := ckptstore.Options{}
+	if sp.CorruptRate > 0 {
+		// Only interpose the corrupting backend when the experiment asks
+		// for it; at rate 0 the store path stays byte-identical to the
+		// plain service run.
+		storeOpts.WrapBackend = inj.WrapBackend()
+	}
+	store, err := ckptstore.Open(sp.Ranks, storeOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +293,8 @@ func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
 		Policy:      "fixed",
 		Adaptive:    sp.Adaptive,
 		BaselineVTS: sp.BaselineVT.Seconds(),
+		CorruptRate: sp.CorruptRate,
+		Fallback:    sp.Fallback,
 	}
 	if sp.Adaptive {
 		out.Policy = "adaptive"
@@ -257,7 +302,34 @@ func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
 
 	elapsed := time.Duration(0)
 	gens := 0
+	// genProgress records each generation's checkpointed application
+	// progress (virtual time from step 0), genIncr the progress it added
+	// over its lineage predecessor, both indexed by store sequence
+	// number. They price the recomputation a restart accepts when it
+	// degrades below the head or falls off the cliff; chargedGens keeps
+	// each generation's work charged at most once, however many restarts
+	// walk past it.
+	var genProgress, genIncr []time.Duration
+	chargedGens := make(map[int]bool)
+	// chargeLost sums the not-yet-charged progress of generations
+	// (from, to], marking them charged.
+	chargeLost := func(from, to int) time.Duration {
+		var sum time.Duration
+		for i := from + 1; i <= to && i < len(genIncr); i++ {
+			if i < 0 || chargedGens[i] {
+				continue
+			}
+			chargedGens[i] = true
+			sum += genIncr[i]
+		}
+		return sum
+	}
 	maxAttempts := 2*sp.Crashes + 8
+	if sp.CorruptRate > 0 {
+		// Corruption adds fresh-start and degraded-restart attempts on
+		// top of the crash budget.
+		maxAttempts += sp.Crashes + 8
+	}
 	for attempt := 0; ; attempt++ {
 		if attempt >= maxAttempts {
 			return nil, fmt.Errorf("service: no fault-free attempt within %d launches", maxAttempts)
@@ -271,12 +343,40 @@ func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
 		cfg.Faults = inj
 		cfg.CkptInterval = interval
 		cfg.Store = store
+		cfg.RestartFallback = sp.Fallback
 
 		var s *mana.Session
 		restarted := gens > 0
+		freshStart := false
 		if restarted {
+			if sp.CorruptRate > 0 {
+				// Scrub before decoding anything: silent damage becomes a
+				// typed, quarantined finding instead of a bit-wrong restart.
+				// Both fallback arms scrub, so the comparison isolates the
+				// restart policy.
+				rep, serr := store.Scrub()
+				if serr != nil {
+					return nil, fmt.Errorf("service attempt %d: scrub: %w", attempt, serr)
+				}
+				out.ScrubFindings += len(rep.Findings)
+				out.ScrubRepaired += rep.Repaired
+			}
 			s, err = mana.RestartJobFromStore(cfg, store, appf)
-			out.Restarts++
+			if err != nil && corruptionClass(err) {
+				// The cliff: nothing in the store is restartable. The
+				// service survives by starting over from step 0 — all
+				// checkpointed progress is recomputed — rather than
+				// aborting, and never by decoding damaged bits.
+				if sp.Logf != nil {
+					sp.Logf("service %-8s attempt %d: no restartable generation (%v); fresh start", out.Policy, attempt, err)
+				}
+				freshStart = true
+				out.FreshStarts++
+				store.ForceBase()
+				s, err = mana.StartJob(cfg, sp.Ranks, appf)
+			} else if err == nil {
+				out.Restarts++
+			}
 		} else {
 			s, err = mana.StartJob(cfg, sp.Ranks, appf)
 		}
@@ -284,15 +384,53 @@ func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
 			return nil, fmt.Errorf("service attempt %d: %w", attempt, err)
 		}
 		st, werr := s.Wait()
+		headGen := gens - 1
 		gens += st.CkptTaken
 		out.Ckpts += st.CkptTaken
+		// The attempt's VTs are measured from its resume point; anchor
+		// its commits at the progress of the generation it resumed from.
+		resumeProgress := time.Duration(0)
+		if restarted && !freshStart && st.RestartGen >= 0 && st.RestartGen < len(genProgress) {
+			resumeProgress = genProgress[st.RestartGen]
+		}
+		prevProgress := resumeProgress
+		for _, c := range st.CkptVTs {
+			p := resumeProgress + c
+			genProgress = append(genProgress, p)
+			genIncr = append(genIncr, p-prevProgress)
+			prevProgress = p
+		}
 
 		rec := ServiceAttempt{
-			Attempt:   attempt,
-			Restarted: restarted,
-			Ckpts:     st.CkptTaken,
-			IntervalS: interval.Seconds(),
-			CrashRank: -1,
+			Attempt:    attempt,
+			Restarted:  restarted && !freshStart,
+			FreshStart: freshStart,
+			Ckpts:      st.CkptTaken,
+			IntervalS:  interval.Seconds(),
+			CrashRank:  -1,
+			RestartGen: -1,
+		}
+		if restarted && !freshStart {
+			rec.RestartGen = st.RestartGen
+		}
+		// Price the recomputation a degraded restart accepted: the
+		// checkpointed progress between the generation actually resumed
+		// and the newest commit (for a fresh start, everything the head
+		// held). The replay is charged to the service clock naturally by
+		// the longer attempt; here it is attributed to lost work so the
+		// integrity tables can show it.
+		if headGen >= 0 && headGen < len(genProgress) {
+			var extra time.Duration
+			switch {
+			case freshStart:
+				extra = chargeLost(-1, headGen)
+			case restarted && st.RestartGen >= 0 && st.RestartGen < headGen:
+				extra = chargeLost(st.RestartGen, headGen)
+			}
+			if extra > 0 {
+				rec.ExtraLostVTS = extra.Seconds()
+				out.LostVTS += extra.Seconds()
+			}
 		}
 		attemptVT := st.VT
 		crashed := false
@@ -346,7 +484,19 @@ func RunService(sp ServiceSpec) (*ServiceOutcome, error) {
 	}
 	out.MTBFEstS = ctl.MTBFEstimate().Seconds()
 	out.CkptCostS = ctl.CkptCostEstimate().Seconds()
+	out.Corruptions = inj.StoreCorruptions()
 	return out, nil
+}
+
+// corruptionClass reports whether a restart failure is one of the typed
+// store-integrity errors — damage detected and refused, as opposed to a
+// bug that should abort the service run.
+func corruptionClass(err error) bool {
+	var cle *ckptstore.ChainLinkError
+	return errors.Is(err, ckptimg.ErrCorrupt) ||
+		errors.Is(err, ckptstore.ErrQuarantined) ||
+		errors.Is(err, ckptstore.ErrPruned) ||
+		errors.As(err, &cle)
 }
 
 // ServiceSweepResult is the service experiment: one service run per
@@ -516,6 +666,119 @@ func WriteService(w io.Writer, res *ServiceSweepResult) {
 				r.MTBFEstS*1e3, res.MTBFS*1e3, r.CkptCostS*1e3, r.IntervalS*1e3, res.OptimumS*1e3,
 				100*(r.IntervalS-res.OptimumS)/res.OptimumS)
 		}
+	}
+	fmt.Fprintln(w)
+}
+
+// ServiceCorruptionResult is the store-integrity sweep: one service run
+// per (corruption rate, restart-fallback) cell over the same crash
+// timeline, at the fixed Young/Daly-optimal interval.
+type ServiceCorruptionResult struct {
+	App   string  `json:"app"`
+	Impl  string  `json:"impl"`
+	Ranks int     `json:"ranks"`
+	Seed  int64   `json:"seed"`
+	MTBFS float64 `json:"mtbf_s"`
+	// IntervalS is the fixed checkpoint interval every cell uses (the
+	// Young/Daly optimum from the probe).
+	IntervalS float64           `json:"interval_s"`
+	Runs      []*ServiceOutcome `json:"runs"`
+}
+
+// ServiceCorruption runs the store-integrity experiment: the service
+// workload under the same crash process as Service, with the checkpoint
+// store's blobs silently corrupted at a swept rate, comparing restart
+// fallback off (a damaged head forces the service back to step 0)
+// against on (restart degrades to the newest verifying generation).
+// Crash timeline, corruption coin flips, and interval are identical
+// across the two arms of each rate, so the goodput gap isolates the
+// fallback policy. The sweep runs rate 0 (the no-damage control, where
+// both arms must agree exactly) and one damage rate — opts.CorruptRate
+// when set, 0.08 by default.
+func ServiceCorruption(opts Options) (*ServiceCorruptionResult, error) {
+	opts = opts.normalized()
+	const (
+		app   = "lammps"
+		impl  = "mpich"
+		ranks = 8
+		seed  = 42
+	)
+	steps := 48
+	if opts.Fast > 1 {
+		steps = 24
+	}
+
+	probe := ServiceSpec{
+		App: app, Impl: impl, Ranks: ranks, Steps: steps,
+		Seed: seed, Kernel: cluster.KernelEvent,
+	}
+	baseVT, ckptCost, err := serviceProbe(probe)
+	if err != nil {
+		return nil, err
+	}
+	// Corruption only matters at restart, so this sweep runs a harsher
+	// crash process than the interval-policy sweep (MTBF at baseline/6
+	// rather than /3): each run cycles through enough commit/restart
+	// rounds for damaged generations to actually be asked for.
+	mtbf := baseVT / 6
+	optimum := YoungDaly(mtbf, ckptCost)
+
+	top := opts.CorruptRate
+	if top <= 0 {
+		top = 0.08
+	}
+	rates := []float64{0, top}
+
+	res := &ServiceCorruptionResult{
+		App: app, Impl: impl, Ranks: ranks, Seed: seed,
+		MTBFS:     mtbf.Seconds(),
+		IntervalS: optimum.Seconds(),
+	}
+	for _, rate := range rates {
+		for _, fallback := range []bool{false, true} {
+			sp := ServiceSpec{
+				App: app, Impl: impl, Ranks: ranks, Steps: steps,
+				Seed: seed, MTBF: mtbf, Crashes: 40,
+				Interval:    optimum,
+				CorruptRate: rate,
+				Fallback:    fallback,
+				Kernel:      cluster.KernelEvent,
+				BaselineVT:  baseVT,
+				Logf:        opts.Logf,
+			}
+			out, err := RunService(sp)
+			if err != nil {
+				return nil, fmt.Errorf("service corruption rate=%g fallback=%v: %w", rate, fallback, err)
+			}
+			out.Policy = fmt.Sprintf("rate=%g/fallback=%s", rate, onoff(fallback))
+			res.Runs = append(res.Runs, out)
+			if opts.Logf != nil {
+				opts.Logf("service %-22s: goodput=%.3f lost=%.1fms corruptions=%d scrub=%d/%d fresh=%d",
+					out.Policy, out.Goodput, out.LostVTS*1e3, out.Corruptions,
+					out.ScrubRepaired, out.ScrubFindings, out.FreshStarts)
+			}
+		}
+	}
+	return res, nil
+}
+
+func onoff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// WriteServiceCorruption renders the store-integrity sweep.
+func WriteServiceCorruption(w io.Writer, res *ServiceCorruptionResult) {
+	title := fmt.Sprintf("Store integrity: %s/%s, %d ranks, MTBF=%.2fms, interval=%.2fms (Young/Daly)",
+		res.App, res.Impl, res.Ranks, res.MTBFS*1e3, res.IntervalS*1e3)
+	fmt.Fprintf(w, "%s\n%s\n%-22s %9s %10s %9s %8s %6s %7s %7s %9s %6s\n", title, strings.Repeat("=", len(title)),
+		"Cell", "Goodput", "Total (ms)", "Lost (ms)", "Crashes", "Rst", "Corrupt", "Scrub", "Repaired", "Fresh")
+	for _, r := range res.Runs {
+		fmt.Fprintf(w, "%-22s %9.3f %10.1f %9.1f %8d %6d %7d %7d %9d %6d\n",
+			r.Policy, r.Goodput, r.TotalVTS*1e3, r.LostVTS*1e3, r.Crashes, r.Restarts,
+			r.Corruptions, r.ScrubFindings, r.ScrubRepaired, r.FreshStarts)
 	}
 	fmt.Fprintln(w)
 }

@@ -182,3 +182,72 @@ func TestServiceCrossKernelDeterminism(t *testing.T) {
 		checkTrajectory(t, g)
 	}
 }
+
+// TestServiceCorruptionDeterminism: a service run with silent store
+// corruption is a pure function of its spec — same seed, same crash
+// timeline, same corruption strikes, byte-identical outcome.
+func TestServiceCorruptionDeterminism(t *testing.T) {
+	sp := ServiceSpec{
+		App: "lammps", Impl: "mpich", Ranks: 4, Steps: 8,
+		Seed: 7, MTBF: 2 * time.Millisecond, Crashes: 3,
+		Interval:    time.Millisecond,
+		CorruptRate: 0.3, Fallback: true,
+		Kernel: cluster.KernelEvent,
+	}
+	a, err := RunService(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunService(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("corruption service outcomes diverge across identical runs:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+	if a.Corruptions == 0 {
+		t.Fatal("determinism check injected no corruption — raise the rate")
+	}
+}
+
+// TestServiceCorruptionFallbackImprovesGoodput is the PR's service-level
+// acceptance bar: under silent store corruption, restart fallback
+// strictly improves goodput over head-only restart at every nonzero
+// rate, and the rate-0 control arms agree exactly. Runs the full-size
+// sweep — the fast variant commits too few generations for sparse
+// strikes to land on a restart path.
+func TestServiceCorruptionFallbackImprovesGoodput(t *testing.T) {
+	res, err := ServiceCorruption(Options{Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs)%2 != 0 || len(res.Runs) < 4 {
+		t.Fatalf("sweep ran %d cells, want an off/on pair per rate with at least 2 rates", len(res.Runs))
+	}
+	for i := 0; i < len(res.Runs); i += 2 {
+		off, on := res.Runs[i], res.Runs[i+1]
+		if off.CorruptRate != on.CorruptRate || off.Fallback || !on.Fallback {
+			t.Fatalf("cells %d/%d are not an off/on pair at one rate: %q vs %q", i, i+1, off.Policy, on.Policy)
+		}
+		if off.CorruptRate == 0 {
+			if off.Goodput != on.Goodput {
+				t.Fatalf("rate-0 control arms disagree: fallback-off goodput %.4f, fallback-on %.4f — fallback must be free without damage",
+					off.Goodput, on.Goodput)
+			}
+			if off.Corruptions != 0 || on.Corruptions != 0 {
+				t.Fatalf("rate-0 arms report corruption: off=%d on=%d", off.Corruptions, on.Corruptions)
+			}
+			continue
+		}
+		if on.Corruptions == 0 {
+			t.Fatalf("%s: nonzero rate injected no corruption", on.Policy)
+		}
+		t.Logf("rate=%g: goodput off=%.3f (fresh=%d) on=%.3f (fresh=%d, scrub %d/%d)",
+			on.CorruptRate, off.Goodput, off.FreshStarts, on.Goodput, on.FreshStarts,
+			on.ScrubRepaired, on.ScrubFindings)
+		if on.Goodput <= off.Goodput {
+			t.Errorf("rate=%g: fallback-on goodput %.4f does not beat fallback-off %.4f",
+				on.CorruptRate, on.Goodput, off.Goodput)
+		}
+	}
+}
