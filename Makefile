@@ -139,6 +139,18 @@ race-scrub:
 	@$(GO) test -race -run 'TestRestartFallback|TestRestartCorruptionSweep' ./internal/core
 	@$(GO) test -race -run 'TestServiceCorruption' ./internal/harness
 
+# race-sched covers the cluster scheduler: job segments of
+# concurrently-resident jobs share the event kernel's virtual-time
+# queue and the fabric's indexed mailboxes, the preemption path
+# re-enters the checkpoint store while the dispatcher mutates node
+# state, and the sweep harness replays trajectories across kernels.
+.PHONY: race-sched
+race-sched:
+	@echo "Running the cluster scheduler under the race detector..."
+	@$(GO) test -race ./internal/sched/...
+	@$(GO) test -race -run 'TestCrashDuringPreemptionSweep|TestNodeCrashNamesJobAndNode' ./internal/core
+	@$(GO) test -race -run 'TestSchedSweep' ./internal/harness
+
 .PHONY: bench-figures
 bench-figures:
 	@echo "Regenerating the paper figures via benchmarks..."
@@ -158,3 +170,7 @@ experiment-drain:
 .PHONY: experiment-service
 experiment-service:
 	@$(GO) run ./cmd/manasim experiment -name service
+
+.PHONY: experiment-sched
+experiment-sched:
+	@$(GO) run ./cmd/manasim experiment -name sched

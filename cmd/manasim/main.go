@@ -7,10 +7,11 @@
 //
 //	manasim list
 //	manasim run -app comd -impl openmpi [-mana] [-ranks N] [-ckpt STEP] [-restart-impl NAME]
-//	manasim experiment -name fig2|fig3|fig4|table1|table2|table3|cs|all [-trials N] [-fast K]
+//	manasim experiment -name fig2|fig3|fig4|table1|table2|table3|cs|sched|all [-trials N] [-fast K]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -140,16 +141,20 @@ scrub flags:
 
 experiment flags:
   -name    fig2, fig3, fig4, table1, table2, table3, cs, drain, delta,
-           backends, dedup, service, or all (drain also sweeps ranks
-           64-1024 under the event kernel; dedup sweeps rank counts x
-           apps x codecs over plain and content-addressed stores;
-           service compares checkpoint-interval policies by goodput
-           under an MTBF-parameterized crash process)
+           backends, dedup, service, sched, or all (drain also sweeps
+           ranks 64-1024 under the event kernel; dedup sweeps rank
+           counts x apps x codecs over plain and content-addressed
+           stores; service compares checkpoint-interval policies by
+           goodput under an MTBF-parameterized crash process; sched
+           runs the multi-job cluster scheduler grid — policies x
+           cluster sizes x job mixes, preemption = transparent
+           checkpoint)
   -trials  median-of-N trials (default 3)
   -fast    divide SimSteps by K for quicker, noisier runs (default 1)
   -corrupt-rate  with -name service: run the store-integrity sweep
            instead — corruption rates {0, r} x restart fallback
            {off, on} at the fixed Young/Daly-optimal interval
+  -json    with -name sched: also write the sweep result as JSON
 `)
 }
 
@@ -541,6 +546,7 @@ func cmdExperiment(args []string) error {
 	trials := fs.Int("trials", 3, "trials per cell")
 	fast := fs.Int("fast", 1, "SimSteps divisor")
 	corruptRate := fs.Float64("corrupt-rate", 0, "with -name service: run the store-integrity sweep at this top corruption rate")
+	jsonOut := fs.String("json", "", "with -name sched: also write the sweep result as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -622,6 +628,21 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			harness.WriteDedup(os.Stdout, rows)
+		case "sched":
+			res, err := harness.SchedSweep(opts)
+			if err != nil {
+				return err
+			}
+			harness.WriteSched(os.Stdout, res)
+			if *jsonOut != "" {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+					return err
+				}
+			}
 		case "service":
 			if opts.CorruptRate > 0 {
 				res, err := harness.ServiceCorruption(opts)
@@ -642,7 +663,7 @@ func cmdExperiment(args []string) error {
 		return nil
 	}
 	if *name == "all" {
-		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends", "dedup", "service"} {
+		for _, n := range []string{"table1", "table2", "fig2", "fig3", "fig4", "cs", "table3", "drain", "delta", "backends", "dedup", "service", "sched"} {
 			if err := run(n); err != nil {
 				return err
 			}

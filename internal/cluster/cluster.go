@@ -107,10 +107,40 @@ type Job struct {
 	wg      sync.WaitGroup
 	started time.Time
 
+	// label names the job and nodeOf pins each rank to a scheduler
+	// node once multiple jobs share a process (internal/sched); both
+	// feed the deadlock diagnostics. Set via SetIdentity before Start.
+	label  string
+	nodeOf []int
+
 	// phaseMu guards phases, the per-rank drain-protocol phase board the
 	// stall diagnostic reads while rank goroutines are still writing it.
 	phaseMu sync.Mutex
 	phases  []string
+}
+
+// SetIdentity names the job and records its rank-to-node placement
+// (nodeOf[rank] = scheduler node, nil when the job owns the process).
+// With multiple scheduler-resident jobs, failure and deadlock
+// diagnostics must say which job and node they refer to; an anonymous
+// "rank 3" is ambiguous. Call before Start.
+func (j *Job) SetIdentity(label string, nodeOf []int) {
+	j.label = label
+	if len(nodeOf) == j.n {
+		j.nodeOf = nodeOf
+	}
+}
+
+// Label returns the job's scheduler-assigned name ("" when unset).
+func (j *Job) Label() string { return j.label }
+
+// NodeOf returns the scheduler node hosting rank, or -1 when no
+// placement was recorded.
+func (j *Job) NodeOf(rank int) int {
+	if j.nodeOf == nil || rank < 0 || rank >= j.n {
+		return -1
+	}
+	return j.nodeOf[rank]
 }
 
 // SetRankPhase records rank's current drain-protocol phase ("" clears
@@ -138,7 +168,11 @@ func (j *Job) rankPhases() string {
 		if out != "" {
 			out += "; "
 		}
-		out += fmt.Sprintf("rank %d: %s", r, p)
+		if j.nodeOf != nil {
+			out += fmt.Sprintf("rank %d (node %d): %s", r, j.nodeOf[r], p)
+		} else {
+			out += fmt.Sprintf("rank %d: %s", r, p)
+		}
 	}
 	if out == "" {
 		return "no rank reported a drain phase"
@@ -256,7 +290,11 @@ func (j *Job) WaitResult() (Result, error) {
 		if j.errs[r] != nil {
 			inner := j.errs[r]
 			if j.kern != nil && j.kern.Stalled() {
-				inner = fmt.Errorf("event-kernel deadlock (every rank blocked with no message in flight; %s): %w", j.rankPhases(), inner)
+				owner := ""
+				if j.label != "" {
+					owner = fmt.Sprintf("job %q: ", j.label)
+				}
+				inner = fmt.Errorf("%sevent-kernel deadlock (every rank blocked with no message in flight; %s): %w", owner, j.rankPhases(), inner)
 			}
 			err = &RankError{Rank: r, Err: inner}
 			break

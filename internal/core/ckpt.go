@@ -63,6 +63,15 @@ func (r *Runtime) AtBoundary(step, total int) error {
 		r.clock.Now()-r.lastCkptVT >= r.cfg.CkptInterval {
 		r.co.RequestCheckpoint()
 	}
+	// Preemption cut: the scheduler asked this job to drain and commit
+	// once it has run CkptStopVT of virtual time. Rank 0 requests the
+	// checkpoint at the first boundary it reaches past the cut; the
+	// lastCkptVT guard makes the request one-shot should the job keep
+	// running after the commit (no ExitAtCheckpoint).
+	if r.rank == 0 && r.cfg.CkptStopVT > 0 && r.ckptAtStep < 0 && step < total &&
+		r.clock.Now() >= r.cfg.CkptStopVT && r.lastCkptVT < r.cfg.CkptStopVT {
+		r.co.RequestCheckpoint()
+	}
 	target, err := r.co.NextBoundary(ctlLink{r}, r.rank, step, total, r.ckptAtStep)
 	if err != nil {
 		return err

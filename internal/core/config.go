@@ -79,6 +79,22 @@ type Config struct {
 	// ExitAtCheckpoint stops the job right after a checkpoint completes
 	// (preemption, the urgent-HPC scenario of the introduction).
 	ExitAtCheckpoint bool
+	// CkptStopVT, when positive, makes rank 0 request a checkpoint at
+	// the first step boundary it reaches at or after this virtual time —
+	// the scheduler's preemption cut: "drain and commit as soon as you
+	// have run this long". Combined with ExitAtCheckpoint the job parks
+	// right after the commit. The actual stop lands at the first safe
+	// boundary past the cut, so the drained VT is deterministic but not
+	// exactly CkptStopVT.
+	CkptStopVT time.Duration
+	// JobLabel names the job in multi-job diagnostics: deadlock reports
+	// and injected CrashErrors carry it (internal/sched sets it to the
+	// scheduler job id).
+	JobLabel string
+	// Placement pins rank i to scheduler node Placement[i]. It flows to
+	// the cluster layer (diagnostics) and the fault injector, where a
+	// node-targeted crash kills every rank placed on the node.
+	Placement []int
 	// SkewBound is the maximum step skew tolerated between ranks when
 	// coordinating an asynchronous checkpoint request (default 8).
 	SkewBound int

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"strings"
 	"testing"
 
 	"manasim/internal/ckptstore"
@@ -65,6 +66,134 @@ func TestHelperStoreResume(t *testing.T) {
 	}
 	for r, c := range rst.Checksums {
 		fmt.Printf("resume-checksum %d %016x\n", r, c)
+	}
+}
+
+// The cross-machine CI round trip: TestHelperStoreExport runs in one CI
+// job, its output directory is uploaded as a build artifact, and
+// TestHelperStoreImport runs in a *separate* job on a different runner
+// against the downloaded copy. Both halves run from the same commit, so
+// these constants are the contract between them.
+const (
+	exportRanks = 4
+	exportSteps = 12
+	exportAt    = 6
+)
+
+var exportImpls = []string{"mpich", "craympi", "openmpi", "exampi"}
+
+// TestHelperStoreExport writes, for every simulated MPI implementation,
+// an fs-backed checkpoint store (stopped at a mid-run boundary) plus
+// the uninterrupted run's per-rank checksums under
+// $MANASIM_EXPORT_DIR/<impl>/. The store lives in a store/ subdirectory
+// so the expected-checksums file never shares a directory with backend
+// blobs.
+func TestHelperStoreExport(t *testing.T) {
+	root := os.Getenv("MANASIM_EXPORT_DIR")
+	if root == "" {
+		t.Skip("CI export helper; set MANASIM_EXPORT_DIR to run")
+	}
+	for _, impl := range exportImpls {
+		t.Run(impl, func(t *testing.T) {
+			clean, _, err := Run(implFactory(t, impl), exportRanks, newRingApp(exportSteps), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join(root, impl)
+			if err := os.MkdirAll(filepath.Join(dir, "store"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			st, err := ckptstore.Open(exportRanks, ckptstore.Options{
+				Backend: "fs", Dir: filepath.Join(dir, "store"), Delta: true, ChunkBytes: 64,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := implFactory(t, impl)
+			cfg.Store = st
+			cfg.ExitAtCheckpoint = true
+			if _, _, err := Run(cfg, exportRanks, newRingApp(exportSteps), exportAt); err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			for r, c := range clean.Checksums {
+				fmt.Fprintf(&b, "%d %016x\n", r, c)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "expected-checksums.txt"), []byte(b.String()), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHelperStoreImport adopts each exported store via OpenExisting on
+// a machine that shares nothing with the exporter but the artifact
+// directory, resumes the job to completion, and requires the per-rank
+// checksums to equal the exporter's uninterrupted run.
+func TestHelperStoreImport(t *testing.T) {
+	root := os.Getenv("MANASIM_IMPORT_DIR")
+	if root == "" {
+		t.Skip("CI import helper; set MANASIM_IMPORT_DIR to run")
+	}
+	for _, impl := range exportImpls {
+		t.Run(impl, func(t *testing.T) {
+			dir := filepath.Join(root, impl)
+			data, err := os.ReadFile(filepath.Join(dir, "expected-checksums.txt"))
+			if err != nil {
+				t.Fatalf("artifact missing expected checksums: %v", err)
+			}
+			want := make(map[int]string)
+			for _, ln := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+				var r int
+				var sum string
+				if _, err := fmt.Sscanf(ln, "%d %s", &r, &sum); err != nil {
+					t.Fatalf("bad checksum line %q: %v", ln, err)
+				}
+				want[r] = sum
+			}
+			st, err := ckptstore.OpenExisting(ckptstore.Options{
+				Backend: "fs", Dir: filepath.Join(dir, "store"),
+			})
+			if err != nil {
+				t.Fatalf("importing exported store: %v", err)
+			}
+			rst, err := RestartFromStore(implFactory(t, impl), st, newRingApp(exportSteps))
+			if err != nil {
+				t.Fatalf("resuming imported store: %v", err)
+			}
+			if len(rst.Checksums) != len(want) {
+				t.Fatalf("resumed %d ranks, exporter recorded %d", len(rst.Checksums), len(want))
+			}
+			for r, c := range rst.Checksums {
+				if got := fmt.Sprintf("%016x", c); got != want[r] {
+					t.Errorf("rank %d: imported-resume checksum %s, exporter %s", r, got, want[r])
+				}
+			}
+		})
+	}
+}
+
+// TestExportImportHelpersRoundTrip keeps the two CI helpers honest
+// locally: it runs them as fresh subprocesses (no shared memory, like
+// the two CI runners) against one shared directory.
+func TestExportImportHelpersRoundTrip(t *testing.T) {
+	if os.Getenv("MANASIM_EXPORT_DIR") != "" || os.Getenv("MANASIM_IMPORT_DIR") != "" {
+		t.Skip("already inside a helper invocation")
+	}
+	dir := t.TempDir()
+	for _, h := range []struct{ name, env string }{
+		{"TestHelperStoreExport", "MANASIM_EXPORT_DIR"},
+		{"TestHelperStoreImport", "MANASIM_IMPORT_DIR"},
+	} {
+		cmd := exec.Command(os.Args[0], "-test.run=^"+h.name+"$", "-test.v")
+		cmd.Env = append(os.Environ(), h.env+"="+dir)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s failed: %v\n%s", h.name, err, out)
+		}
+		if strings.Contains(string(out), "SKIP") {
+			t.Fatalf("%s skipped instead of running:\n%s", h.name, out)
+		}
 	}
 }
 

@@ -1,0 +1,134 @@
+package mana
+
+import (
+	"time"
+
+	"manasim/internal/app"
+	"manasim/internal/ckptstore"
+	"manasim/internal/faults"
+)
+
+// JobHandle is one job's lifecycle — launch, checkpoint, park, resume —
+// as an explicit reentrant object instead of process-wide state. The
+// cluster scheduler (internal/sched) owns one handle per submitted job:
+// every time the job is granted nodes the scheduler runs one Segment on
+// it, and a preempted segment parks at a checkpoint committed into the
+// handle's own generation-chained store, from which the next segment
+// resumes with RestartJobFromStore. The handle itself holds no running
+// state between segments; its persistent state is exactly the store's
+// committed generations, which is what makes a kill (discard the
+// segment, commit nothing) and a crash (segment error, complete
+// generations only) both safe.
+type JobHandle struct {
+	cfg     Config
+	n       int
+	factory app.Factory
+	store   *ckptstore.Store
+}
+
+// NewJobHandle builds a handle for an n-rank application job. The
+// config's Store is adopted as the handle's checkpoint store (a fresh
+// in-memory store when nil); Kernel, FS, and FixedXlatCost flow into
+// every segment.
+func NewJobHandle(cfg Config, n int, factory app.Factory) (*JobHandle, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	st, err := cfg.ckptStoreFor(n)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Store = st
+	return &JobHandle{cfg: cfg, n: n, factory: factory, store: st}, nil
+}
+
+// Ranks reports the job's rank count.
+func (h *JobHandle) Ranks() int { return h.n }
+
+// Store exposes the handle's checkpoint store — the job's only
+// persistent state between segments.
+func (h *JobHandle) Store() *ckptstore.Store { return h.store }
+
+// Resumable reports whether a committed generation exists to resume
+// from; a non-resumable segment launches fresh.
+func (h *JobHandle) Resumable() bool { return len(h.store.Generations()) > 0 }
+
+// Segment parameterizes one scheduling segment of a job.
+type Segment struct {
+	// StopAtVT, when positive, is the scheduler's preemption cut: rank 0
+	// requests a checkpoint at the first safe boundary at or after this
+	// much segment virtual time, the generation commits, and the job
+	// parks (ExitAtCheckpoint). Zero runs the segment to completion.
+	StopAtVT time.Duration
+	// Label names the job in diagnostics (defaults to the handle
+	// config's JobLabel).
+	Label string
+	// Placement pins rank i to scheduler node Placement[i] for this
+	// segment; node-targeted faults and deadlock diagnostics use it.
+	Placement []int
+	// Faults, when set, overrides the handle config's injector for this
+	// segment (the crash-during-preemption battery arms one per cut).
+	Faults *faults.Injector
+}
+
+// SegmentResult reports one segment's outcome.
+type SegmentResult struct {
+	// Stats is the segment's session statistics; Stats.VT is
+	// segment-local virtual time (each segment starts a fresh clock).
+	Stats Stats
+	// Stopped means the segment parked at the preemption checkpoint;
+	// false with a nil error means the job ran to completion.
+	Stopped bool
+	// Resumed means the segment started from a committed generation
+	// rather than a fresh launch; RestartGen names it (-1 when fresh).
+	Resumed    bool
+	RestartGen int
+}
+
+// RunSegment executes one scheduling segment: resume from the store's
+// newest generation when one exists, launch fresh otherwise, and run
+// until completion or the segment's preemption cut. It blocks until the
+// segment parks, completes, or fails; the handle can then run further
+// segments (after a failure, from the last committed generation).
+func (h *JobHandle) RunSegment(seg Segment) (SegmentResult, error) {
+	cfg := h.cfg
+	cfg.Store = h.store
+	if seg.Label != "" {
+		cfg.JobLabel = seg.Label
+	}
+	if seg.Placement != nil {
+		cfg.Placement = seg.Placement
+	}
+	if seg.Faults != nil {
+		cfg.Faults = seg.Faults
+	}
+	cfg.CkptStopVT = 0
+	cfg.ExitAtCheckpoint = false
+	if seg.StopAtVT > 0 {
+		cfg.CkptStopVT = seg.StopAtVT
+		cfg.ExitAtCheckpoint = true
+	}
+
+	var (
+		s       *Session
+		err     error
+		resumed bool
+	)
+	if h.Resumable() {
+		s, err = RestartJobFromStore(cfg, h.store, h.factory)
+		resumed = true
+	} else {
+		s, err = StartJob(cfg, h.n, h.factory)
+	}
+	if err != nil {
+		return SegmentResult{RestartGen: -1}, err
+	}
+	st, err := s.Wait()
+	return SegmentResult{
+		Stats:      st,
+		Stopped:    st.Stopped,
+		Resumed:    resumed,
+		RestartGen: st.RestartGen,
+	}, err
+}

@@ -126,12 +126,17 @@ func StartJob(cfg Config, n int, factory app.Factory) (*Session, error) {
 	return s, nil
 }
 
-// armFaults validates a configured fault injector against the chosen
-// simulation kernel and attaches its control-message filter to the
-// job's fabric. No-op without an injector.
+// armFaults propagates the job's scheduler identity (label, rank
+// placement) to the cluster layer and the fault injector, validates a
+// configured injector against the chosen simulation kernel, and
+// attaches its control-message filter to the job's fabric.
 func armFaults(cfg Config, job *cluster.Job) error {
+	job.SetIdentity(cfg.JobLabel, cfg.Placement)
 	if cfg.Faults == nil {
 		return nil
+	}
+	if cfg.JobLabel != "" || cfg.Placement != nil {
+		cfg.Faults.SetPlacement(cfg.JobLabel, cfg.Placement)
 	}
 	if err := cfg.Faults.ValidateKernel(cfg.Kernel == cluster.KernelEvent); err != nil {
 		return err

@@ -66,6 +66,14 @@ type Event struct {
 	// Rank is the target rank (crash, straggler) or the sending rank
 	// (control-message faults). Unused for store faults.
 	Rank int
+	// OnNode retargets a virtual-time NodeCrash at a scheduler node
+	// instead of a single rank: the event fires at the first check any
+	// rank placed on Node reaches past At, and every other rank on that
+	// node is doomed to die at its own next check — a node loss kills
+	// all ranks placed on it, not an abstract rank. Requires a placement
+	// (SetPlacement); Rank is ignored.
+	OnNode bool
+	Node   int
 	// At arms crash and straggler events at this service virtual time.
 	At time.Duration
 	// Step/Call arm a scripted crash instead of a virtual-time one:
@@ -155,14 +163,29 @@ type Plan struct {
 
 // CrashError is the typed abort of an injected NodeCrash: the job's
 // error chain names the killed rank and its virtual time of death.
+// Once multiple jobs share a process, the owning job and scheduler
+// node are named too (Job is "" and Node is negative when the injector
+// has no placement — the single-job case keeps its historical message).
 type CrashError struct {
 	Rank int
 	VT   time.Duration
+	Job  string
+	Node int
 }
 
 // Error implements the error interface.
 func (e *CrashError) Error() string {
-	return fmt.Sprintf("faults: node crash: rank %d killed at vt=%.6fs", e.Rank, e.VT.Seconds())
+	var b strings.Builder
+	b.WriteString("faults: node crash: ")
+	if e.Job != "" {
+		fmt.Fprintf(&b, "job %q ", e.Job)
+	}
+	fmt.Fprintf(&b, "rank %d", e.Rank)
+	if e.Job != "" && e.Node >= 0 {
+		fmt.Fprintf(&b, " on node %d", e.Node)
+	}
+	fmt.Fprintf(&b, " killed at vt=%.6fs", e.VT.Seconds())
+	return b.String()
 }
 
 // CrashVT reports the killed rank's virtual time. The cluster layer
@@ -195,6 +218,13 @@ type Injector struct {
 	// is the next unconsumed one.
 	crashes  []Event
 	crashIdx int
+	// jobLabel and nodeOf are the owning job's name and rank-to-node
+	// placement (SetPlacement); they label every CrashError. doomed
+	// holds collateral kills of a fired node crash: each rank placed on
+	// the lost node dies at its own next check.
+	jobLabel string
+	nodeOf   []int
+	doomed   []*CrashError
 	// scripted holds step-targeted crashes; consumed entries are nil.
 	scripted []*Event
 	// stepOf / callsInStep track each rank's current step and wrapper
@@ -356,7 +386,7 @@ func (inj *Injector) index() {
 		ev := &inj.timeline[i]
 		switch ev.Kind {
 		case NodeCrash:
-			if ev.Step >= 0 {
+			if ev.Step >= 0 && !ev.OnNode {
 				inj.scripted = append(inj.scripted, ev)
 			} else {
 				inj.crashes = append(inj.crashes, *ev)
@@ -397,9 +427,12 @@ func (inj *Injector) Timeline() string {
 	for _, ev := range inj.timeline {
 		switch ev.Kind {
 		case NodeCrash:
-			if ev.Step >= 0 {
+			switch {
+			case ev.OnNode:
+				fmt.Fprintf(&b, "crash node=%d at=%.9fs\n", ev.Node, ev.At.Seconds())
+			case ev.Step >= 0:
 				fmt.Fprintf(&b, "crash rank=%d step=%d call=%d\n", ev.Rank, ev.Step, ev.Call)
-			} else {
+			default:
 				fmt.Fprintf(&b, "crash rank=%d at=%.9fs\n", ev.Rank, ev.At.Seconds())
 			}
 		case Straggler:
@@ -437,6 +470,34 @@ func (inj *Injector) SetBase(base time.Duration) {
 	for r := range inj.callsInStep {
 		inj.stepOf[r], inj.callsInStep[r] = -1, 0
 	}
+	inj.doomed = nil
+}
+
+// SetPlacement names the owning job and pins each rank to a scheduler
+// node (nodeOf[rank] = node). Placement is what node-targeted crash
+// events fire against, and it labels every CrashError with the job and
+// node so multi-job diagnostics are unambiguous. Call before the job
+// (re)starts; nil clears the placement.
+func (inj *Injector) SetPlacement(job string, nodeOf []int) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.jobLabel = job
+	if len(nodeOf) == inj.n {
+		inj.nodeOf = nodeOf
+	} else {
+		inj.nodeOf = nil
+	}
+	inj.doomed = nil
+}
+
+// crashErrLocked builds a CrashError labeled with the injector's job
+// and placement. Caller holds inj.mu.
+func (inj *Injector) crashErrLocked(rank int, vt time.Duration) *CrashError {
+	node := -1
+	if inj.nodeOf != nil {
+		node = inj.nodeOf[rank]
+	}
+	return &CrashError{Rank: rank, VT: vt, Job: inj.jobLabel, Node: node}
 }
 
 // CtlArmed reports whether any control-message faults are scheduled;
@@ -506,22 +567,49 @@ func (inj *Injector) scriptedCrashLocked(rank int, now time.Duration) error {
 		}
 		inj.scripted[i] = nil
 		inj.firedCrashes++
-		return &CrashError{Rank: rank, VT: now}
+		return inj.crashErrLocked(rank, now)
 	}
 	return nil
 }
 
 func (inj *Injector) vtCrashLocked(rank int, now time.Duration) error {
+	// A node crash already fired and this rank was placed on the lost
+	// node: it dies at its own next check, at its own virtual time.
+	if inj.doomed != nil && inj.doomed[rank] != nil {
+		err := inj.doomed[rank]
+		err.VT = now
+		inj.doomed[rank] = nil
+		return err
+	}
 	if inj.crashIdx >= len(inj.crashes) {
 		return nil
 	}
 	next := inj.crashes[inj.crashIdx]
+	if next.OnNode {
+		// Node-targeted: fires at the first check any rank placed on
+		// the node reaches past the arm time; peers on the node are
+		// doomed to die at their own next check.
+		if inj.nodeOf == nil || inj.nodeOf[rank] != next.Node || inj.base+now < next.At {
+			return nil
+		}
+		inj.crashIdx++
+		inj.firedCrashes++
+		for r := 0; r < inj.n; r++ {
+			if r != rank && inj.nodeOf[r] == next.Node {
+				if inj.doomed == nil {
+					inj.doomed = make([]*CrashError, inj.n)
+				}
+				inj.doomed[r] = inj.crashErrLocked(r, now)
+			}
+		}
+		return inj.crashErrLocked(rank, now)
+	}
 	if next.Rank != rank || inj.base+now < next.At {
 		return nil
 	}
 	inj.crashIdx++
 	inj.firedCrashes++
-	return &CrashError{Rank: rank, VT: now}
+	return inj.crashErrLocked(rank, now)
 }
 
 // CrashesFired reports how many crashes have been injected so far.

@@ -203,6 +203,70 @@ func TestProbeAndIprobe(t *testing.T) {
 	})
 }
 
+// TestIprobeCausality pins the virtual-time visibility contract for
+// probes: a message sent by a rank whose clock has run far ahead must not
+// be observable by a nonblocking Iprobe until the receiver's own clock
+// reaches the send timestamp, while a blocking Probe waits in virtual
+// time — it advances the receiver's clock to the earliest matching
+// arrival and reports it. Without the gate, an Iprobe on a lagging rank
+// could observe its virtual future and a subsequent Recv would drag the
+// rank's clock forward, inflating every downstream timestamp (observed
+// as preemption checkpoint cuts landing at request+target virtual times
+// under the event kernel).
+func TestIprobeCausality(t *testing.T) {
+	forEachImpl(t, func(t *testing.T, name string, factory Factory) {
+		const ahead = time.Second
+		sent := make(chan struct{})
+		run(t, factory, 2, func(rank int, p mpi.Proc, clock *simtime.Clock) error {
+			c := consts(t, p, mpi.ConstCommWorld, mpi.ConstByte)
+			world, byt := c[mpi.ConstCommWorld], c[mpi.ConstByte]
+			if rank == 0 {
+				// Simulate a decoupled rank that ran far ahead before sending.
+				clock.MergeAtLeast(ahead)
+				if err := p.Send([]byte{7}, 1, byt, 1, 3, world); err != nil {
+					return err
+				}
+				close(sent)
+				return nil
+			}
+			// Host-side ordering only: guarantees the message is queued
+			// before rank 1 probes, without touching its virtual clock.
+			<-sent
+			if now := clock.Now(); now >= ahead {
+				return fmt.Errorf("receiver clock already at %v before probing", now)
+			}
+			ok, _, err := p.Iprobe(0, 3, world)
+			if err != nil {
+				return err
+			}
+			if ok {
+				return errors.New("Iprobe saw a message from the receiver's virtual future")
+			}
+			st, err := p.Probe(0, 3, world)
+			if err != nil {
+				return err
+			}
+			if st.Source != 0 || st.Tag != 3 || st.Bytes != 1 {
+				return fmt.Errorf("probe status %+v", st)
+			}
+			if now := clock.Now(); now < ahead {
+				return fmt.Errorf("blocking Probe returned at %v without advancing to the arrival", now)
+			}
+			// The arrival is in the receiver's present now, so Iprobe sees it.
+			ok, _, err = p.Iprobe(0, 3, world)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return errors.New("Iprobe missed a message in the receiver's virtual present")
+			}
+			in := make([]byte, 1)
+			_, err = p.Recv(in, 1, byt, 0, 3, world)
+			return err
+		})
+	})
+}
+
 func TestCollectivesNumeric(t *testing.T) {
 	forEachImpl(t, func(t *testing.T, name string, factory Factory) {
 		const n = 7 // deliberately not a power of two

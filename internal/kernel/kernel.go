@@ -1,7 +1,6 @@
 package kernel
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -15,43 +14,15 @@ const (
 	stDone                // activity returned
 )
 
-// event is one pending rank resumption: rank becomes runnable at virtual
-// time at. seq breaks virtual-time ties FIFO, so scheduling order is a
-// pure function of the event sequence — no wall-clock, no randomness.
-type event struct {
-	at   time.Duration
-	seq  uint64
-	rank int
-}
-
-// eventHeap is a binary min-heap over (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
-}
-
 // Kernel is a discrete-event scheduler for the rank activities of one
 // job. Create with New, register every rank with Go, then call Start.
+// Its pending rank wakeups live in a VTQueue — the same virtual-time
+// event queue the cluster scheduler shares as its clock.
 type Kernel struct {
 	n int
 
 	mu      sync.Mutex
-	heap    eventHeap
-	seq     uint64
+	queue   VTQueue[int]
 	state   []int8
 	pending []bool // a Wake arrived while the rank was still running
 	live    int
@@ -88,8 +59,7 @@ func New(n int) *Kernel {
 // push enqueues a wakeup event. Caller holds k.mu (or, in New, has
 // exclusive access).
 func (k *Kernel) push(at time.Duration, rank int) {
-	heap.Push(&k.heap, event{at: at, seq: k.seq, rank: rank})
-	k.seq++
+	k.queue.Push(at, rank)
 }
 
 // OnStall registers the handler invoked when every live rank is parked
@@ -136,7 +106,7 @@ func (k *Kernel) loop() {
 			close(k.done)
 			return
 		}
-		if k.heap.Len() == 0 {
+		if k.queue.Len() == 0 {
 			// Every live rank is parked with nothing scheduled to wake
 			// it: a deadlock. Let the stall handler tear the job down
 			// (waking the parked ranks with an error) rather than hang.
@@ -147,21 +117,22 @@ func (k *Kernel) loop() {
 				stall()
 			}
 			k.mu.Lock()
-			if k.heap.Len() == 0 && k.live > 0 {
+			if k.queue.Len() == 0 && k.live > 0 {
 				k.mu.Unlock()
 				panic("kernel: deadlock with no stall recovery: all ranks parked and no events pending")
 			}
 			k.mu.Unlock()
 			continue
 		}
-		ev := heap.Pop(&k.heap).(event)
-		if k.state[ev.rank] != stReady {
-			panic(fmt.Sprintf("kernel: scheduled rank %d in state %d", ev.rank, k.state[ev.rank]))
+		ev, _ := k.queue.Pop()
+		rank := ev.Payload
+		if k.state[rank] != stReady {
+			panic(fmt.Sprintf("kernel: scheduled rank %d in state %d", rank, k.state[rank]))
 		}
-		k.state[ev.rank] = stRunning
+		k.state[rank] = stRunning
 		k.mu.Unlock()
 
-		k.resume[ev.rank] <- struct{}{}
+		k.resume[rank] <- struct{}{}
 		<-k.yielded
 	}
 }

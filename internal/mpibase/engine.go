@@ -234,13 +234,20 @@ func (e *Engine) SleepUntil(at time.Duration) error {
 	return nil
 }
 
-// Iprobe checks for a matching message without receiving it.
+// Iprobe checks for a matching message without receiving it. Only
+// messages already sent in this rank's virtual present are visible: the
+// eager transport deposits a message the instant the sender issues it,
+// so without the send-time gate a lagging rank could observe — and then
+// receive, dragging its clock forward — an envelope from its own virtual
+// future. A probe that returns false simply means nothing has arrived
+// *yet* at this rank's clock; the message becomes visible once the
+// rank's own time passes the send instant.
 func (e *Engine) Iprobe(c *Comm, src, tag int) (bool, mpi.Status, error) {
 	m, err := makeMatch(c, c.Ctx, src, tag)
 	if err != nil {
 		return false, mpi.Status{}, err
 	}
-	msg, ok := e.Ep.Probe(m)
+	msg, ok := e.Ep.ProbeVisible(m, e.Clock.Now())
 	if !ok {
 		return false, mpi.Status{}, nil
 	}
@@ -251,21 +258,32 @@ func (e *Engine) Iprobe(c *Comm, src, tag int) (bool, mpi.Status, error) {
 	}, nil
 }
 
-// Probe blocks until a matching message is available.
+// Probe blocks until a matching message is available, waiting in virtual
+// time: if the earliest matching envelope was sent in this rank's
+// future, the rank's clock advances to that send instant — that is what
+// blocking until arrival means — so a Probe-then-Iprobe sequence always
+// agrees with itself.
 func (e *Engine) Probe(c *Comm, src, tag int) (mpi.Status, error) {
 	m, err := makeMatch(c, c.Ctx, src, tag)
 	if err != nil {
 		return mpi.Status{}, err
 	}
-	if err := e.Ep.WaitMatch(m); err != nil {
-		return mpi.Status{}, mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+	for {
+		if msg, ok := e.Ep.ProbeVisible(m, e.Clock.Now()); ok {
+			return mpi.Status{
+				Source: c.Group.RankOf(msg.Src),
+				Tag:    msg.Tag,
+				Bytes:  len(msg.Payload),
+			}, nil
+		}
+		if at, ok := e.Ep.EarliestMatchVT(m); ok {
+			e.Clock.MergeAtLeast(at)
+			continue
+		}
+		if err := e.Ep.WaitMatch(m); err != nil {
+			return mpi.Status{}, mpi.Errorf(mpi.ErrOther, "transport: %v", err)
+		}
 	}
-	msg, _ := e.Ep.Probe(m)
-	return mpi.Status{
-		Source: c.Group.RankOf(msg.Src),
-		Tag:    msg.Tag,
-		Bytes:  len(msg.Payload),
-	}, nil
 }
 
 // Isend starts a nonblocking eager send; the returned request is already
@@ -304,7 +322,12 @@ func (e *Engine) Wait(r *Req) (mpi.Status, error) {
 	return st, err
 }
 
-// Test polls the request for completion.
+// Test polls the request for completion. Unlike Iprobe, Test is not
+// gated on the message's send time: completing a posted receive is
+// Wait-like — the receiver genuinely consumes the data, so merging its
+// clock to the arrival instant is the correct accounting, and a gated
+// Test would livelock a Test spin loop whose rank has nothing else
+// advancing its clock.
 func (e *Engine) Test(r *Req) (bool, mpi.Status, error) {
 	if r.Done {
 		return true, r.St, nil

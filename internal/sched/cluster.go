@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PartitionSpec is a named set of nodes with a priority tier. Jobs
+// submit to a partition and may run only on its nodes; a job's priority
+// is its partition's. Partitions may overlap (the urgent partition of
+// the XFEL scenario typically spans the whole cluster).
+type PartitionSpec struct {
+	Name     string
+	Priority int
+	// Nodes lists the member node ids; nil means every node.
+	Nodes []int
+}
+
+// ClusterSpec describes the machine: whole nodes with a fixed number of
+// rank slots each. Placement is whole-node: a job of R ranks occupies
+// ceil(R/SlotsPerNode) nodes exclusively.
+type ClusterSpec struct {
+	Nodes        int
+	SlotsPerNode int
+	// Partitions defaults to a single all-node "batch" partition at
+	// priority 0.
+	Partitions []PartitionSpec
+}
+
+// withDefaults fills unset fields and validates the spec.
+func (cs ClusterSpec) withDefaults() (ClusterSpec, error) {
+	if cs.Nodes <= 0 {
+		return cs, fmt.Errorf("sched: cluster needs nodes, got %d", cs.Nodes)
+	}
+	if cs.SlotsPerNode <= 0 {
+		cs.SlotsPerNode = 1
+	}
+	if len(cs.Partitions) == 0 {
+		cs.Partitions = []PartitionSpec{{Name: "batch"}}
+	}
+	seen := map[string]bool{}
+	for i, p := range cs.Partitions {
+		if p.Name == "" {
+			return cs, fmt.Errorf("sched: partition %d has no name", i)
+		}
+		if seen[p.Name] {
+			return cs, fmt.Errorf("sched: duplicate partition %q", p.Name)
+		}
+		seen[p.Name] = true
+		for _, n := range p.Nodes {
+			if n < 0 || n >= cs.Nodes {
+				return cs, fmt.Errorf("sched: partition %q references node %d of a %d-node cluster", p.Name, n, cs.Nodes)
+			}
+		}
+	}
+	return cs, nil
+}
+
+// partition resolves a partition by name; the empty string selects the
+// first (default) partition.
+func (cs ClusterSpec) partition(name string) (PartitionSpec, error) {
+	if name == "" {
+		return cs.Partitions[0], nil
+	}
+	for _, p := range cs.Partitions {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return PartitionSpec{}, fmt.Errorf("sched: unknown partition %q", name)
+}
+
+// memberNodes returns the partition's node ids in ascending order.
+func (cs ClusterSpec) memberNodes(p PartitionSpec) []int {
+	if p.Nodes == nil {
+		all := make([]int, cs.Nodes)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	out := append([]int(nil), p.Nodes...)
+	sort.Ints(out)
+	return out
+}
+
+// String renders the cluster size as the experiment tables label it.
+func (cs ClusterSpec) String() string {
+	return fmt.Sprintf("%dx%d", cs.Nodes, cs.SlotsPerNode)
+}

@@ -332,6 +332,25 @@ func (e *Endpoint) Probe(m Match) (msg *Message, ok bool) {
 	return e.fabric.boxes[e.rank].peek(m)
 }
 
+// ProbeVisible is Probe restricted to the receiver's virtual present: it
+// only reports messages whose send timestamp is at or before now. The
+// eager transport deposits a message the moment the sender issues it, so
+// a rank whose clock lags the sender's would otherwise observe an
+// envelope from its own virtual future — a causality leak that lets a
+// nonblocking probe drag the receiver's clock forward when the message
+// is then received.
+func (e *Endpoint) ProbeVisible(m Match, now time.Duration) (msg *Message, ok bool) {
+	return e.fabric.boxes[e.rank].peekVisible(m, now)
+}
+
+// EarliestMatchVT returns the smallest send timestamp among queued
+// messages matching m. A blocking probe uses it to advance the waiting
+// rank's clock to the instant the earliest matching envelope becomes
+// visible.
+func (e *Endpoint) EarliestMatchVT(m Match) (time.Duration, bool) {
+	return e.fabric.boxes[e.rank].earliestMatch(m)
+}
+
 // WaitMatch blocks until a message matching m is present (without
 // removing it) or the fabric closes. It lets polling loops avoid
 // busy-waiting while preserving probe-then-receive semantics.
@@ -526,6 +545,71 @@ func (b *mailbox) findLocked(m Match) *qent {
 	return nil
 }
 
+// findVisibleLocked is findLocked restricted to entries with
+// SendVT <= now. A sender's clock is monotone, so each (source, tag)
+// FIFO is send-time ordered and the exact-match case only needs its
+// head; a wildcard match scans the arrival list for the first live
+// visible entry, since interleaved senders' timestamps are not ordered
+// by arrival.
+func (b *mailbox) findVisibleLocked(m Match, now time.Duration) *qent {
+	c := b.byCtx[m.Context]
+	if c == nil {
+		return nil
+	}
+	if m.Src != AnySource && m.Tag != AnyTag {
+		q := c.triples[srcTag{src: m.Src, tag: m.Tag}]
+		if q == nil {
+			return nil
+		}
+		e := q.front()
+		if e == nil || e.m.SendVT > now {
+			return nil
+		}
+		return e
+	}
+	c.pruneFifo()
+	for i := c.head; i < len(c.fifo); i++ {
+		e := c.fifo[i]
+		if e.taken || !m.Matches(e.m) || e.m.SendVT > now {
+			continue
+		}
+		return e
+	}
+	return nil
+}
+
+// earliestLocked returns the smallest SendVT among live entries matching
+// m.
+func (b *mailbox) earliestLocked(m Match) (time.Duration, bool) {
+	c := b.byCtx[m.Context]
+	if c == nil {
+		return 0, false
+	}
+	if m.Src != AnySource && m.Tag != AnyTag {
+		q := c.triples[srcTag{src: m.Src, tag: m.Tag}]
+		if q == nil {
+			return 0, false
+		}
+		e := q.front()
+		if e == nil {
+			return 0, false
+		}
+		return e.m.SendVT, true
+	}
+	c.pruneFifo()
+	best, ok := time.Duration(0), false
+	for i := c.head; i < len(c.fifo); i++ {
+		e := c.fifo[i]
+		if e.taken || !m.Matches(e.m) {
+			continue
+		}
+		if !ok || e.m.SendVT < best {
+			best, ok = e.m.SendVT, true
+		}
+	}
+	return best, ok
+}
+
 // removeLocked consumes e and drops emptied index entries.
 func (b *mailbox) removeLocked(e *qent) *Message {
 	msg := e.m
@@ -571,6 +655,21 @@ func (b *mailbox) peek(m Match) (*Message, bool) {
 		return e.m, true
 	}
 	return nil, false
+}
+
+func (b *mailbox) peekVisible(m Match, now time.Duration) (*Message, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.findVisibleLocked(m, now); e != nil {
+		return e.m, true
+	}
+	return nil, false
+}
+
+func (b *mailbox) earliestMatch(m Match) (time.Duration, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.earliestLocked(m)
 }
 
 func (b *mailbox) waitMatch(m Match) error {

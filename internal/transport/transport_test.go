@@ -235,6 +235,63 @@ func TestProbeDoesNotConsume(t *testing.T) {
 	}
 }
 
+// TestProbeVisibleGatesOnSendVT pins the virtual-time visibility rule:
+// ProbeVisible only reports messages whose send timestamp is at or
+// before the receiver's clock, for both exact and wildcard matches,
+// while EarliestMatchVT exposes the instant the earliest matching
+// envelope becomes visible so a blocking probe can wait in virtual time.
+func TestProbeVisibleGatesOnSendVT(t *testing.T) {
+	f := NewFabric(3)
+	defer f.Close()
+	dst := f.Endpoint(2)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.Endpoint(0).Send(2, 1, 5, []byte{1}, 4*time.Second))
+	must(f.Endpoint(1).Send(2, 1, 5, []byte{2}, 2*time.Second))
+
+	exact := Match{Context: 1, Src: 0, Tag: 5}
+	wild := Match{Context: 1, Src: AnySource, Tag: AnyTag}
+
+	// Both sends are in the receiver's future at t=1s.
+	if _, ok := dst.ProbeVisible(exact, time.Second); ok {
+		t.Fatal("exact probe saw a future message")
+	}
+	if _, ok := dst.ProbeVisible(wild, time.Second); ok {
+		t.Fatal("wildcard probe saw a future message")
+	}
+	// The earliest matching arrival is rank 1's 2s send under the
+	// wildcard, rank 0's 4s send under the exact match.
+	if at, ok := dst.EarliestMatchVT(wild); !ok || at != 2*time.Second {
+		t.Fatalf("wildcard earliest = %v ok=%v, want 2s", at, ok)
+	}
+	if at, ok := dst.EarliestMatchVT(exact); !ok || at != 4*time.Second {
+		t.Fatalf("exact earliest = %v ok=%v, want 4s", at, ok)
+	}
+	// At t=2s only rank 1's message is visible; at t=4s both are, and the
+	// wildcard returns the earlier-deposited one (rank 0's, sent at 4s).
+	if msg, ok := dst.ProbeVisible(wild, 2*time.Second); !ok || msg.Src != 1 {
+		t.Fatalf("at 2s: msg=%+v ok=%v, want src 1", msg, ok)
+	}
+	if _, ok := dst.ProbeVisible(exact, 2*time.Second); ok {
+		t.Fatal("exact probe saw rank 0's 4s send at t=2s")
+	}
+	if msg, ok := dst.ProbeVisible(wild, 4*time.Second); !ok || msg.Src != 0 {
+		t.Fatalf("at 4s: msg=%+v ok=%v, want src 0 (deposit order)", msg, ok)
+	}
+	// Visibility gating never consumes.
+	if dst.Pending() != 2 {
+		t.Fatalf("pending %d, probes must not consume", dst.Pending())
+	}
+	// No matching envelope at all: EarliestMatchVT reports none.
+	if _, ok := dst.EarliestMatchVT(Match{Context: 9, Src: AnySource, Tag: AnyTag}); ok {
+		t.Fatal("EarliestMatchVT invented a match")
+	}
+}
+
 func TestBlockingRecvWakesOnSend(t *testing.T) {
 	f := NewFabric(2)
 	defer f.Close()
